@@ -1,0 +1,90 @@
+"""Fig. 1 — prompt tuning method comparison under domain shift.
+
+Reproduces the motivating figure: one4all Vanilla / DEPT / P-tuning-v2
+prompts (trained on the most recent buffer only) against prefix tuning with
+per-domain OVTs, on Gemma-2B and Phi-2 stand-ins over four LaMP datasets.
+Expected shape: OVT prefix tuning clearly on top.
+"""
+
+import numpy as np
+
+from repro.tuning import (
+    DEPTTuner,
+    PrefixTuner,
+    PTuningV2Tuner,
+    TuningConfig,
+    VanillaPromptTuner,
+)
+from repro.eval.runner import evaluate_artifact
+
+from benchmarks.common import (
+    USER_IDS,
+    default_config,
+    print_table,
+    run_once,
+    shared_context,
+)
+
+MODELS = ("gemma-2b-sim", "phi-2-sim")
+DATASETS = ("LaMP-1", "LaMP-2", "LaMP-5", "LaMP-7")
+ONE4ALL_TUNING = TuningConfig(steps=40, lr=0.05)
+
+
+def _fig1_cell(context, model_name, dataset_name):
+    """Scores of the four Fig. 1 methods for one (model, dataset)."""
+    model = context.model(model_name)
+    config = default_config()
+    tuners = {
+        "Vanilla": VanillaPromptTuner(model, context.tokenizer, ONE4ALL_TUNING),
+        "DEPT": DEPTTuner(model, context.tokenizer, ONE4ALL_TUNING),
+        "P-t* v2": PTuningV2Tuner(model, context.tokenizer, ONE4ALL_TUNING),
+    }
+    totals = {name: [] for name in (*tuners, "OVT")}
+    for user_id in USER_IDS:
+        task = context.user_task(dataset_name, user_id,
+                                 config.buffer_capacity)
+        metric = task.dataset.metric
+        # One4all baselines: trained on the latest buffer only.
+        for name, tuner in tuners.items():
+            artifact = tuner.fit(task.last_buffer)
+            totals[name].append(evaluate_artifact(
+                context, model_name, artifact, task.queries, metric))
+        # OVT: per-domain prefix tuning, oracle domain match (no NVM here —
+        # Fig. 1 isolates the learning method).
+        per_domain = {}
+        for sample in task.training_stream:
+            if sample.domain not in per_domain:
+                per_domain[sample.domain] = PrefixTuner(
+                    model, context.tokenizer, ONE4ALL_TUNING).fit([sample])
+        scores = []
+        for query in task.queries:
+            artifact = per_domain.get(query.domain)
+            scores.append(evaluate_artifact(context, model_name, artifact,
+                                            [query], metric))
+        totals["OVT"].append(float(np.mean(scores)))
+    return {name: float(np.mean(values)) for name, values in totals.items()}
+
+
+def test_fig1_pt_method_comparison(benchmark):
+    context = shared_context()
+
+    def run():
+        results = {}
+        for model_name in MODELS:
+            for dataset_name in DATASETS:
+                results[(model_name, dataset_name)] = _fig1_cell(
+                    context, model_name, dataset_name)
+        return results
+
+    results = run_once(benchmark, run)
+    methods = ["Vanilla", "DEPT", "P-t* v2", "OVT"]
+    for model_name in MODELS:
+        rows = [[ds] + [f"{results[(model_name, ds)][m]:.3f}" for m in methods]
+                for ds in DATASETS]
+        print_table(f"Fig. 1 ({model_name})", ["dataset"] + methods, rows)
+    # Shape assertion: OVT wins on average.
+    ovt = np.mean([results[k]["OVT"] for k in results])
+    best_one4all = max(
+        np.mean([results[k][m] for k in results])
+        for m in ("Vanilla", "DEPT", "P-t* v2"))
+    assert ovt > best_one4all

@@ -1,0 +1,47 @@
+"""Fig. 2 — resource pressure of storing/moving OVTs on an edge device.
+
+(a) DRAM usage grows linearly with the number of stored OVTs (x100 MB
+range at thousands of OVTs); (b) SSD <-> DRAM transfer time reaches tens of
+seconds at 1e5 OVTs.
+"""
+
+from repro.cim import PAPER_SCALE_STORAGE
+
+from benchmarks.common import print_table, run_once
+
+FIG2A_COUNTS = (1000, 3000, 5000, 7000, 9000)
+FIG2B_COUNTS = (100, 1000, 5000, 20000, 100000)
+
+
+def test_fig2a_memory_usage(benchmark):
+    model = PAPER_SCALE_STORAGE
+
+    def run():
+        return [(n, model.memory_mb(n), model.dram_fraction(n))
+                for n in FIG2A_COUNTS]
+
+    rows = run_once(benchmark, run)
+    print_table("Fig. 2a — OVT memory usage",
+                ["# OVTs (x100)", "memory (x100 MB)", "DRAM fraction"],
+                [[n // 100, f"{mb / 100:.2f}", f"{frac:.3f}"]
+                 for n, mb, frac in rows])
+    megabytes = [mb for _, mb, _ in rows]
+    assert all(b > a for a, b in zip(megabytes, megabytes[1:]))
+    # Paper scale: 9000 OVTs land in the "x100 MB" band.
+    assert 400 < megabytes[-1] < 2000
+
+
+def test_fig2b_transfer_time(benchmark):
+    model = PAPER_SCALE_STORAGE
+
+    def run():
+        return [(n, model.transfer_time_s(n)) for n in FIG2B_COUNTS]
+
+    rows = run_once(benchmark, run)
+    print_table("Fig. 2b — SSD<->DRAM transfer time",
+                ["# OVTs (x1000)", "transfer time (s)"],
+                [[n / 1000, f"{t:.2f}"] for n, t in rows])
+    times = [t for _, t in rows]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    # Tens of seconds at 1e5 OVTs, as in the paper's plot.
+    assert 10 < times[-1] < 120

@@ -1,0 +1,54 @@
+"""Fig. 5 — retrieval latency and energy: NVCiM (RRAM, FeFET) vs CPU.
+
+NeuroSim-style 22nm cost model over a sweep of stored-OVT counts.
+Expected shape: both NVCiM technologies sit orders of magnitude below the
+Jetson-Orin-class CPU, with the advantage peaking around the paper's
+reported ~120x latency / ~60x energy at the largest scale.
+"""
+
+from repro.cim import retrieval_cost
+
+from benchmarks.common import print_table, run_once
+
+SAMPLE_COUNTS = (1000, 5000, 10000, 20000, 50000, 100000)
+BACKENDS = ("RRAM", "FeFET", "CPU")
+
+
+def test_fig5_latency_and_energy(benchmark):
+    def run():
+        return {(backend, n): retrieval_cost(backend, n)
+                for backend in BACKENDS for n in SAMPLE_COUNTS}
+
+    reports = run_once(benchmark, run)
+
+    rows = []
+    for n in SAMPLE_COUNTS:
+        row = [f"{n // 100}"]
+        for backend in BACKENDS:
+            row.append(f"{reports[(backend, n)].latency_ns:,.0f}")
+        rows.append(row)
+    print_table("Fig. 5a — search latency (ns) vs #samples (x100)",
+                ["#samples(x100)"] + list(BACKENDS), rows)
+
+    rows = []
+    for n in SAMPLE_COUNTS:
+        row = [f"{n // 100}"]
+        for backend in BACKENDS:
+            row.append(f"{reports[(backend, n)].energy_pj / 1e6:,.2f}")
+        rows.append(row)
+    print_table("Fig. 5b — search energy (uJ) vs #samples (x100)",
+                ["#samples(x100)"] + list(BACKENDS), rows)
+
+    top = SAMPLE_COUNTS[-1]
+    latency_gain = (reports[("CPU", top)].latency_ns
+                    / reports[("RRAM", top)].latency_ns)
+    energy_gain = (reports[("CPU", top)].energy_pj
+                   / reports[("RRAM", top)].energy_pj)
+    print(f"\nCPU/RRAM at n={top}: latency {latency_gain:.0f}x, "
+          f"energy {energy_gain:.0f}x "
+          f"(paper: up to ~120x latency, ~60x energy)")
+    assert 50 < latency_gain < 400
+    assert 20 < energy_gain < 250
+    for n in SAMPLE_COUNTS:
+        assert (reports[("FeFET", n)].energy_pj
+                < reports[("RRAM", n)].energy_pj)

@@ -1,0 +1,75 @@
+"""Table I — main comparison: 3 edge LLMs x 5 LaMP datasets x 5 NVM
+devices x 6 methods at sigma = 0.1, buffer 25.
+
+The paper's headline table.  Expected shape: NVCiM-PT leads on average;
+noise-aware training lifts NVP*(MIPS) over No-Miti(MIPS); the mitigation
+baselines (which reuse SSA) are competitive but lack noise-robust prompts.
+
+Reduced scale by default (the paper averages >100 users per cell); set
+REPRO_FULL=1 for more users/queries.
+"""
+
+import numpy as np
+
+from repro.eval.runner import TABLE1_METHODS, evaluate_method
+from repro.nvm import available_devices
+
+from benchmarks.common import (
+    USER_IDS,
+    default_config,
+    print_table,
+    run_once,
+    shared_context,
+)
+
+MODELS = ("gemma-2b-sim", "mistral-7b-gptq-sim", "phi-2-sim")
+DATASETS = ("LaMP-1", "LaMP-2", "LaMP-3", "LaMP-5", "LaMP-7")
+
+
+def test_table1_main_grid(benchmark):
+    context = shared_context()
+    config = default_config()
+
+    def run():
+        grid = {}
+        for model_name in MODELS:
+            for device in available_devices():
+                for dataset in DATASETS:
+                    for method in TABLE1_METHODS:
+                        key = (model_name, device, dataset, method.name)
+                        from dataclasses import replace
+                        cell_config = replace(config, device_name=device)
+                        grid[key] = evaluate_method(
+                            context, model_name, dataset, method,
+                            cell_config, user_ids=USER_IDS)
+        return grid
+
+    grid = run_once(benchmark, run)
+
+    method_names = [m.name for m in TABLE1_METHODS]
+    for model_name in MODELS:
+        rows = []
+        for device in available_devices():
+            for dataset in DATASETS:
+                rows.append(
+                    [device, dataset]
+                    + [f"{grid[(model_name, device, dataset, m)]:.3f}"
+                       for m in method_names])
+        print_table(f"Table I ({model_name}, sigma=0.1, buffer=25)",
+                    ["device", "dataset"] + method_names, rows)
+
+    # Shape assertions on the aggregate.  Per-cell (and, at the reduced
+    # default scale of ~2 users/cell, even small aggregate) noise is
+    # expected — the paper's own Table I cells shuffle the baselines
+    # wildly.  We require NVCiM-PT to be at worst a very close second
+    # overall and strictly above both MIPS-retrieval baselines, and both
+    # of its components to help on average.
+    means = {m: np.mean([grid[k] for k in grid if k[3] == m])
+             for m in method_names}
+    print_table("Table I — method means over the whole grid",
+                ["method", "mean"],
+                [[m, f"{means[m]:.3f}"] for m in method_names])
+    assert means["NVCiM-PT"] >= max(means.values()) - 0.02
+    assert means["NVCiM-PT"] > means["No-Miti(MIPS)"]
+    assert means["NVCiM-PT"] > means["NVP*(MIPS)"]
+    assert means["NVP*(MIPS)"] > means["No-Miti(MIPS)"]

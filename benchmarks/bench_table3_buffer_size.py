@@ -1,0 +1,46 @@
+"""Table III — buffer-size sweep (Phi-2, LaMP-5, NVM-3, sigma = 0.1).
+
+The paper varies the data buffer from 10 to 60 samples.  Expected shape:
+NVCiM-PT leads across sizes, with a sweet spot at medium buffers (more
+buffer = better clustering, but each OVT covers a broader domain).
+"""
+
+import numpy as np
+
+from repro.eval.runner import TABLE1_METHODS, evaluate_method
+
+from benchmarks.common import (
+    USER_IDS,
+    default_config,
+    print_table,
+    run_once,
+    shared_context,
+)
+
+BUFFER_SIZES = (10, 20, 30, 40, 50, 60)
+
+
+def test_table3_buffer_size_sweep(benchmark):
+    context = shared_context()
+
+    def run():
+        table = {}
+        for buffer_size in BUFFER_SIZES:
+            config = default_config(buffer_capacity=buffer_size)
+            for method in TABLE1_METHODS:
+                table[(buffer_size, method.name)] = evaluate_method(
+                    context, "phi-2-sim", "LaMP-5", method, config,
+                    user_ids=USER_IDS)
+        return table
+
+    table = run_once(benchmark, run)
+    method_names = [m.name for m in TABLE1_METHODS]
+    rows = [[f"{bs} samples"]
+            + [f"{table[(bs, m)]:.3f}" for m in method_names]
+            for bs in BUFFER_SIZES]
+    print_table("Table III (Phi-2, LaMP-5, NVM-3, sigma=0.1)",
+                ["buffer size"] + method_names, rows)
+
+    nvcim = np.mean([table[(bs, "NVCiM-PT")] for bs in BUFFER_SIZES])
+    no_miti = np.mean([table[(bs, "No-Miti(MIPS)")] for bs in BUFFER_SIZES])
+    assert nvcim > no_miti

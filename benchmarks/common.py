@@ -1,0 +1,51 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints the table/figure it regenerates.  Scales are reduced
+relative to the paper (which averages >100 users per cell); set
+``REPRO_FULL=1`` for a larger grid.  The shared :class:`ExperimentContext`
+memoises pretrained models and trained OVT libraries across benchmarks in
+one pytest session.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import FrameworkConfig
+from repro.eval.runner import ExperimentContext
+from repro.tuning import TuningConfig
+
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+USER_IDS = tuple(range(3)) if FULL else (0, 1)
+N_QUERIES = 10 if FULL else 6
+
+_CONTEXT: ExperimentContext | None = None
+
+
+def shared_context() -> ExperimentContext:
+    """The session-wide experiment context (models/libraries memoised)."""
+    global _CONTEXT
+    if _CONTEXT is None:
+        _CONTEXT = ExperimentContext(seed=0, n_queries=N_QUERIES)
+    return _CONTEXT
+
+
+def default_config(**overrides) -> FrameworkConfig:
+    defaults = dict(buffer_capacity=25, device_name="NVM-3", sigma=0.1,
+                    tuning=TuningConfig(), seed=0)
+    defaults.update(overrides)
+    return FrameworkConfig(**defaults)
+
+
+def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Noise-aware training in action (paper Eq. 4).
+
+Trains the same user's OVTs twice — with and without noise injection —
+and compares what survives an NVM round-trip as device variation grows.
+
+Run:  python examples/noise_robustness_demo.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import (
+    FrameworkConfig,
+    GenerationConfig,
+    build_corpus,
+    build_tokenizer,
+    load_pretrained_model,
+    make_dataset,
+    make_user,
+)
+from repro.core import NVCiMDeployment, OVTTrainingPipeline
+from repro.eval import score_output
+
+SIGMAS = (0.025, 0.075, 0.125)
+
+
+def main() -> None:
+    tokenizer = build_tokenizer()
+    corpus = build_corpus(tokenizer, n_sentences=3000, seed=0)
+    model = load_pretrained_model("phi-2-sim", corpus, tokenizer.vocab_size,
+                                  seed=0)
+    dataset = make_dataset("LaMP-5")
+    user = make_user(2, seed=0)
+    generation = GenerationConfig(max_new_tokens=8, temperature=0.1,
+                                  eos_id=tokenizer.eos_id)
+    queries = dataset.generate(user, 8, seed=42)
+
+    libraries = {}
+    for noise_aware in (False, True):
+        config = FrameworkConfig(buffer_capacity=20, noise_aware=noise_aware)
+        pipeline = OVTTrainingPipeline(model, tokenizer, config)
+        for domain in dataset.user_domains(user):
+            for sample in dataset.generate(user, config.buffer_capacity,
+                                           seed=9, domains=[domain]):
+                pipeline.observe(sample)
+        libraries[noise_aware] = (config, pipeline.library)
+
+    print(f"{'sigma':>6s} {'plain PT':>10s} {'noise-aware':>12s}")
+    for sigma in SIGMAS:
+        row = []
+        for noise_aware in (False, True):
+            config, library = libraries[noise_aware]
+            deployment = NVCiMDeployment(model, tokenizer, library,
+                                         replace(config, sigma=sigma))
+            scores = [score_output("rouge1",
+                                   deployment.answer(q.input_text, generation),
+                                   q.target_text)
+                      for q in queries]
+            row.append(float(np.mean(scores)))
+        print(f"{sigma:>6.3f} {row[0]:>10.3f} {row[1]:>12.3f}")
+    print("\n(noise-aware training should hold up better as sigma grows)")
+
+
+if __name__ == "__main__":
+    main()

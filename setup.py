@@ -1,0 +1,10 @@
+"""Shim so `pip install -e .` works without the `wheel` package installed.
+
+Offline environments that lack `wheel` cannot run PEP 660 editable builds;
+with this file present pip falls back to the legacy `setup.py develop` path.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

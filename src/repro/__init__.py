@@ -1,0 +1,47 @@
+"""NVCiM-PT: an NVCiM-assisted prompt tuning framework for edge LLMs.
+
+Reproduction of Qin et al., DATE 2025 (arXiv:2411.08244).  The public API
+re-exports the pieces a downstream user needs: the framework itself
+(:class:`~repro.core.NVCiMPT`), the model/dataset/device zoos, the prompt
+tuning methods and the cost models.
+"""
+
+from .core import (
+    FrameworkConfig,
+    NVCiMDeployment,
+    NVCiMPT,
+    NoiseAwareTrainer,
+    NoiseInjectionConfig,
+    OVTLibrary,
+    OVTTrainingPipeline,
+)
+from .data import (
+    DataBuffer,
+    available_datasets,
+    build_corpus,
+    build_tokenizer,
+    make_dataset,
+    make_user,
+    make_users,
+)
+from .llm import (
+    GenerationConfig,
+    available_models,
+    build_model,
+    generate,
+    load_pretrained_model,
+)
+from .nvm import available_devices, get_device
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "NVCiMPT", "FrameworkConfig", "OVTLibrary", "OVTTrainingPipeline",
+    "NVCiMDeployment", "NoiseAwareTrainer", "NoiseInjectionConfig",
+    "build_tokenizer", "build_corpus", "make_dataset", "available_datasets",
+    "make_user", "make_users", "DataBuffer",
+    "build_model", "load_pretrained_model", "available_models",
+    "generate", "GenerationConfig",
+    "get_device", "available_devices",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Minimal reverse-mode autograd engine over numpy.
+
+This subpackage replaces PyTorch for the purposes of this reproduction:
+tensors with recorded backward closures, module containers, common layers,
+activations/losses, and optimizers.
+"""
+
+from .functional import cross_entropy, gelu, log_softmax, mse_loss, softmax
+from .layers import Dropout, Embedding, LayerNorm, Linear, Sequential
+from .module import Module, Parameter
+from .optim import Adam, LinearWarmupDecay, SGD, clip_grad_norm
+from .tensor import Tensor, cat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor", "cat", "stack", "no_grad", "is_grad_enabled",
+    "Module", "Parameter",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
+    "softmax", "log_softmax", "gelu", "cross_entropy", "mse_loss",
+    "SGD", "Adam", "LinearWarmupDecay", "clip_grad_norm",
+]

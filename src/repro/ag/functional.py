@@ -1,0 +1,97 @@
+"""Differentiable functional operations built on :class:`~repro.ag.Tensor`.
+
+These cover the activations and losses the transformer substrate needs.
+``softmax``/``log_softmax`` are composed from primitive ops; ``cross_entropy``
+is a fused primitive (softmax-minus-onehot backward) because it sits on the
+hot path of every prompt-tuning step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["softmax", "log_softmax", "gelu", "cross_entropy", "mse_loss"]
+
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_COEFF = np.float32(0.044715)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in GPT-2)."""
+    inner = (x + x ** 3.0 * _GELU_COEFF) * _SQRT_2_OVER_PI
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Mean token-level cross entropy.
+
+    Args:
+        logits: ``(N, V)`` unnormalised scores.
+        targets: ``(N,)`` integer class ids.
+        ignore_index: targets equal to this id contribute no loss/gradient
+            (used to mask prompt positions and padding).
+
+    Returns:
+        A scalar tensor.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.ndim != 1 or logits.shape[0] != targets.shape[0]:
+        raise ValueError(
+            f"cross_entropy expects (N, V) logits and (N,) targets, got "
+            f"{logits.shape} and {targets.shape}"
+        )
+    if ignore_index is not None:
+        valid = targets != ignore_index
+    else:
+        valid = np.ones_like(targets, dtype=bool)
+    count = int(valid.sum())
+    if count == 0:
+        raise ValueError("cross_entropy received no valid targets")
+
+    scores = logits.data
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1)) + scores.max(axis=1)
+    safe_targets = np.where(valid, targets, 0)
+    picked = scores[np.arange(scores.shape[0]), safe_targets]
+    losses = np.where(valid, logsumexp - picked, 0.0)
+    value = np.float32(losses.sum() / count)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        probs[np.arange(scores.shape[0]), safe_targets] -= 1.0
+        probs[~valid] = 0.0
+        logits._accumulate(probs * (float(grad) / count))
+
+    return Tensor._make(np.asarray(value), (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between two tensors of identical shape."""
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"mse_loss shape mismatch: {prediction.shape} vs {target.shape}"
+        )
+    diff = prediction - target
+    return (diff * diff).mean()

@@ -1,0 +1,105 @@
+"""Module/Parameter containers mirroring the familiar torch.nn layout."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable state of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters stay trainable even when constructed under no_grad().
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for components with trainable parameters.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; ``parameters()`` and ``state_dict()`` discover them by
+    attribute walking, the same contract as ``torch.nn.Module``.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self) -> "Module":
+        self._set_training(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_training(False)
+        return self
+
+    def _set_training(self, mode: bool) -> None:
+        self.training = mode
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_training(mode)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_training(mode)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted path."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.shape}"
+                )
+            param.data = value.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError

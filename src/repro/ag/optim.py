@@ -1,0 +1,135 @@
+"""Optimizers and learning-rate schedules for prompt tuning.
+
+The paper tunes virtual tokens with Adam at lr=1e-4 plus a scheduler; both
+are provided here, together with plain SGD (used in unit tests) and global
+gradient-norm clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["SGD", "Adam", "LinearWarmupDecay", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: list[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm > 0.0:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total
+
+
+class _Optimizer:
+    def __init__(self, parameters: list[Tensor], lr: float):
+        self.parameters = [p for p in parameters if p.requires_grad]
+        if not self.parameters:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * update
+
+
+class Adam(_Optimizer):
+    """Adam (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-4, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LinearWarmupDecay:
+    """Linear warmup to the base lr, then linear decay to ``final_factor``.
+
+    Matches the HuggingFace ``get_linear_schedule_with_warmup`` shape used by
+    the paper's prompt-tuning recipe.
+    """
+
+    def __init__(self, optimizer: _Optimizer, warmup_steps: int, total_steps: int,
+                 final_factor: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps]")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.final_factor = final_factor
+        self._step_count = 0
+
+    def current_factor(self) -> float:
+        step = self._step_count
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = self.total_steps - self.warmup_steps
+        if remaining <= 0:
+            return 1.0
+        progress = min(1.0, (step - self.warmup_steps) / remaining)
+        return 1.0 + progress * (self.final_factor - 1.0)
+
+    def step(self) -> None:
+        self._step_count += 1
+        self.optimizer.lr = self.base_lr * self.current_factor()

@@ -1,0 +1,19 @@
+"""Computing-in-memory architecture: accelerator, cost and memory models."""
+
+from .accelerator import CiMMatrix, MitigationHooks, NullMitigation
+from .energy import (
+    CIM_TECH,
+    CPU_JETSON_ORIN,
+    CiMCostModel,
+    CpuCostModel,
+    RetrievalCostReport,
+    retrieval_cost,
+)
+from .memory_model import PAPER_SCALE_STORAGE, OVTStorageModel
+
+__all__ = [
+    "CiMMatrix", "MitigationHooks", "NullMitigation",
+    "CiMCostModel", "CpuCostModel", "RetrievalCostReport", "retrieval_cost",
+    "CIM_TECH", "CPU_JETSON_ORIN",
+    "OVTStorageModel", "PAPER_SCALE_STORAGE",
+]

@@ -1,0 +1,222 @@
+"""NVCiM accelerator: bit-sliced matrix storage and in-memory GMM.
+
+A :class:`CiMMatrix` is a float matrix held on NVM: values are quantized to
+int16, bit-sliced into base-2^bits digits (one digit per cell, paper
+Fig. 4), and tiled over 384x128 crossbars.  Matrix-vector products run
+slice-by-slice in the arrays and are shift-added digitally, which is
+exactly how the paper's scaled-search GMM executes.
+
+Noise-mitigation baselines plug in via two hooks: ``post_program`` (e.g.
+selective write-verify re-pulses cells) and ``correct_output`` (e.g.
+CxDNN / CorrectNet output compensation).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..nvm.crossbar import CrossbarArray, CrossbarStats
+from ..nvm.device_models import NVMDevice
+from ..nvm.quantize import Int16Codec, slice_to_digits
+
+__all__ = ["CiMMatrix", "MitigationHooks", "NullMitigation"]
+
+_OFFSET = 32768  # excess code used by the int16 bit-slicing
+
+
+class MitigationHooks(Protocol):
+    """Interface the noise-mitigation baselines implement."""
+
+    name: str
+
+    def post_program(self, matrix: "CiMMatrix") -> None:
+        """Run after programming (may verify/re-program cells)."""
+
+    def prepare_values(self, values: np.ndarray) -> np.ndarray:
+        """Transform values before quantization (e.g. outlier clipping)."""
+
+    def correct_output(self, matrix: "CiMMatrix",
+                       outputs: np.ndarray) -> np.ndarray:
+        """Correct an MVM output vector (per-column compensation)."""
+
+    def correct_read(self, matrix: "CiMMatrix",
+                     values: np.ndarray) -> np.ndarray:
+        """Correct a full read-back of the stored matrix."""
+
+
+class NullMitigation:
+    """No mitigation: store and read raw (the paper's \"No-Miti\")."""
+
+    name = "none"
+
+    def post_program(self, matrix: "CiMMatrix") -> None:
+        return None
+
+    def prepare_values(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def correct_output(self, matrix: "CiMMatrix",
+                       outputs: np.ndarray) -> np.ndarray:
+        return outputs
+
+    def correct_read(self, matrix: "CiMMatrix",
+                     values: np.ndarray) -> np.ndarray:
+        return values
+
+
+class CiMMatrix:
+    """A (d, n) float matrix stored bit-sliced on NVM crossbars."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        device: NVMDevice,
+        *,
+        sigma: float = 0.1,
+        rows: int = 384,
+        cols: int = 128,
+        adc_bits: int = 8,
+        mitigation: MitigationHooks | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        values = np.asarray(values, dtype=np.float32)
+        if values.ndim != 2:
+            raise ValueError("CiMMatrix stores 2-D matrices")
+        self.device = device
+        self.sigma = sigma
+        self.subarray_rows = rows
+        self.subarray_cols = cols
+        self.mitigation = mitigation or NullMitigation()
+        self._rng = rng or np.random.default_rng(0)
+
+        prepared = self.mitigation.prepare_values(values)
+        self.shape = prepared.shape
+        self.codec = Int16Codec.fit(prepared)
+        self._ints = self.codec.encode(prepared)
+        self._digits = slice_to_digits(self._ints, device.bits_per_cell)
+        self.n_slices = self._digits.shape[0]
+        self._adc_bits = adc_bits
+        self._tiles: list[list[list[CrossbarArray]]] = []  # [slice][row][col]
+        # Calibration data some mitigations fill in during post_program.
+        self.calibration: dict[str, np.ndarray] = {}
+        self._program()
+        self.mitigation.post_program(self)
+
+    # ------------------------------------------------------------------
+    # Programming and geometry
+    # ------------------------------------------------------------------
+    def _program(self) -> None:
+        d, n = self.shape
+        for digit_plane in self._digits:
+            row_tiles = []
+            for r0 in range(0, d, self.subarray_rows):
+                col_tiles = []
+                for c0 in range(0, n, self.subarray_cols):
+                    block = digit_plane[r0:r0 + self.subarray_rows,
+                                        c0:c0 + self.subarray_cols]
+                    padded = np.zeros((self.subarray_rows, self.subarray_cols),
+                                      dtype=np.int64)
+                    padded[:block.shape[0], :block.shape[1]] = block
+                    tile = CrossbarArray(self.device,
+                                         rows=self.subarray_rows,
+                                         cols=self.subarray_cols,
+                                         sigma=self.sigma,
+                                         adc_bits=self._adc_bits,
+                                         rng=self._rng)
+                    tile.program(padded)
+                    col_tiles.append(tile)
+                row_tiles.append(col_tiles)
+            self._tiles.append(row_tiles)
+
+    @property
+    def n_subarrays(self) -> int:
+        return sum(len(col_tiles) for row_tiles in self._tiles
+                   for col_tiles in row_tiles)
+
+    def iter_tiles(self):
+        """Yield every crossbar tile (used by write-verify mitigation)."""
+        for row_tiles in self._tiles:
+            for col_tiles in row_tiles:
+                yield from col_tiles
+
+    def iter_tiles_with_slice(self):
+        """Yield (slice_index, tile) pairs; slice 0 holds the LSB digits."""
+        for slice_index, row_tiles in enumerate(self._tiles):
+            for col_tiles in row_tiles:
+                for tile in col_tiles:
+                    yield slice_index, tile
+
+    def aggregate_stats(self) -> CrossbarStats:
+        total = CrossbarStats()
+        for tile in self.iter_tiles():
+            total.cells_programmed += tile.stats.cells_programmed
+            total.write_pulses += tile.stats.write_pulses
+            total.mvm_ops += tile.stats.mvm_ops
+            total.adc_conversions += tile.stats.adc_conversions
+            total.cell_reads += tile.stats.cell_reads
+        return total
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray, *, quantize_output: bool = True,
+               corrected: bool = True) -> np.ndarray:
+        """In-memory ``x @ W`` with device noise; returns float (n,).
+
+        ``corrected=False`` skips the mitigation's output correction
+        (mitigations use it during calibration).
+        """
+        x = np.asarray(x, dtype=np.float32).reshape(-1)
+        d, n = self.shape
+        if x.size != d:
+            raise ValueError(f"input of {x.size} does not match matrix rows {d}")
+        level_gain = self.device.n_levels - 1
+        base = float(2 ** self.device.bits_per_cell)
+        total = np.zeros(n, dtype=np.float64)
+        for s, row_tiles in enumerate(self._tiles):
+            plane = np.zeros(n, dtype=np.float64)
+            for r_index, col_tiles in enumerate(row_tiles):
+                r0 = r_index * self.subarray_rows
+                chunk = np.zeros(self.subarray_rows, dtype=np.float32)
+                piece = x[r0:r0 + self.subarray_rows]
+                chunk[:piece.size] = piece
+                for c_index, tile in enumerate(col_tiles):
+                    c0 = c_index * self.subarray_cols
+                    out = tile.matvec(chunk, quantize_output=quantize_output)
+                    width = min(self.subarray_cols, n - c0)
+                    plane[c0:c0 + width] += out[:width] * level_gain
+            total += plane * (base ** s)
+        # Remove the excess-32768 offset: every stored word carries +OFFSET.
+        total -= _OFFSET * float(x.sum())
+        outputs = (total * self.codec.scale).astype(np.float32)
+        if not corrected:
+            return outputs
+        return self.mitigation.correct_output(self, outputs)
+
+    def read_matrix(self, *, corrected: bool = True) -> np.ndarray:
+        """Read the stored matrix back (noisy), shape (d, n) float32."""
+        d, n = self.shape
+        value = np.zeros((d, n), dtype=np.float64)
+        base = float(2 ** self.device.bits_per_cell)
+        for s, row_tiles in enumerate(self._tiles):
+            for r_index, col_tiles in enumerate(row_tiles):
+                r0 = r_index * self.subarray_rows
+                height = min(self.subarray_rows, d - r0)
+                for c_index, tile in enumerate(col_tiles):
+                    c0 = c_index * self.subarray_cols
+                    width = min(self.subarray_cols, n - c0)
+                    digits = tile.read_cells()
+                    value[r0:r0 + height, c0:c0 + width] += (
+                        digits[:height, :width] * (base ** s)
+                    )
+        value -= _OFFSET
+        decoded = self.codec.decode(value)
+        if not corrected:
+            return decoded
+        return self.mitigation.correct_read(self, decoded)
+
+    def ideal_matrix(self) -> np.ndarray:
+        """The noise-free stored values (after int16 quantization)."""
+        return self.codec.decode(self._ints)

@@ -1,0 +1,54 @@
+"""Edge memory pressure of storing OVTs in DRAM/SSD (paper Fig. 2).
+
+The paper motivates NVCiM by showing that (a) OVT volume grows linearly
+with user data and strains DRAM, and (b) shuttling OVTs between SSD and
+DRAM costs tens of seconds at scale.  Both curves are analytic; the
+parameters below use the paper's scale (full-size LLM virtual tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OVTStorageModel", "PAPER_SCALE_STORAGE"]
+
+
+@dataclass(frozen=True)
+class OVTStorageModel:
+    """Size/bandwidth model for a population of stored OVTs."""
+
+    n_virtual_tokens: int = 20        # tokens per OVT
+    hidden_dim: int = 2560            # Phi-2 class hidden size
+    bytes_per_value: int = 2          # fp16
+    metadata_bytes: int = 4096        # keys, ids, alignment
+    ssd_bandwidth_gb_s: float = 0.25  # edge-class SSD sequential read
+    dram_capacity_gb: float = 8.0     # Jetson Orin class shared DRAM
+
+    def __post_init__(self):
+        if self.n_virtual_tokens <= 0 or self.hidden_dim <= 0:
+            raise ValueError("token count and hidden dim must be positive")
+
+    @property
+    def bytes_per_ovt(self) -> int:
+        return (self.n_virtual_tokens * self.hidden_dim * self.bytes_per_value
+                + self.metadata_bytes)
+
+    def memory_bytes(self, n_ovts: int) -> float:
+        """DRAM bytes needed to keep ``n_ovts`` resident."""
+        if n_ovts < 0:
+            raise ValueError("n_ovts must be non-negative")
+        return float(n_ovts) * self.bytes_per_ovt
+
+    def memory_mb(self, n_ovts: int) -> float:
+        return self.memory_bytes(n_ovts) / 1e6
+
+    def dram_fraction(self, n_ovts: int) -> float:
+        """Fraction of device DRAM consumed (can exceed 1)."""
+        return self.memory_bytes(n_ovts) / (self.dram_capacity_gb * 1e9)
+
+    def transfer_time_s(self, n_ovts: int) -> float:
+        """Seconds to move ``n_ovts`` between SSD and DRAM."""
+        return self.memory_bytes(n_ovts) / (self.ssd_bandwidth_gb_s * 1e9)
+
+
+PAPER_SCALE_STORAGE = OVTStorageModel()

@@ -1,0 +1,5 @@
+"""Autoencoder-based OVT compression into the NVM encoding space."""
+
+from .autoencoder import AutoencoderConfig, OVTAutoencoder
+
+__all__ = ["AutoencoderConfig", "OVTAutoencoder"]

@@ -1,0 +1,270 @@
+"""The NVCiM-PT framework (paper Fig. 3).
+
+Two phases, mirroring the paper's training and inference modes:
+
+* :class:`OVTTrainingPipeline` — consumes the user's data stream through
+  the bounded buffer; each time the buffer fills it runs Representative
+  Selection, trains one OVT per representative (noise-aware if configured),
+  and refreshes the autoencoder with the non-representative remainder.
+  The result is an :class:`OVTLibrary`.
+* :class:`NVCiMDeployment` — encodes the library with the autoencoder,
+  programs the scaled copies onto NVM crossbars, and serves queries:
+  embed -> encode -> in-memory scaled search -> restore -> decode ->
+  prepend as soft prompt -> generate.
+
+:class:`NVCiMPT` is the convenience facade combining both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..compression import AutoencoderConfig, OVTAutoencoder
+from ..data.buffer import DataBuffer
+from ..data.lamp import Sample
+from ..llm.generation import GenerationConfig, generate
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+from ..mitigation import make_mitigation
+from ..nvm.device_models import get_device
+from ..retrieval import MIPS_CONFIG, SSA_CONFIG, CiMSearchEngine, SearchConfig
+from ..tuning import TuningConfig, VanillaPromptTuner, VirtualTokens
+from ..utils import derive_rng
+from .noise_training import NoiseAwareTrainer, NoiseInjectionConfig
+from .selection import KSelectionConfig, select_representatives
+
+__all__ = ["FrameworkConfig", "OVTLibrary", "OVTTrainingPipeline",
+           "NVCiMDeployment", "NVCiMPT"]
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Everything that defines one NVCiM-PT configuration."""
+
+    buffer_capacity: int = 25
+    device_name: str = "NVM-3"
+    sigma: float = 0.1                    # device variation (Table IV knob)
+    retrieval: str = "ssa"                # "ssa" or "mips"
+    mitigation: str = "none"              # none|swv|cxdnn|correctnet
+    noise_aware: bool = True              # the paper's NT component
+    code_dim: int = 48                    # autoencoder embedding size
+    tuning: TuningConfig = field(default_factory=TuningConfig)
+    k_selection: KSelectionConfig = field(default_factory=KSelectionConfig)
+    noise_factors: tuple[float, float, float, float] = (1.0, 1.6, 1.6, 1.0)
+    search: SearchConfig | None = None    # derived from `retrieval` if None
+    on_cim: bool = True                   # False = ideal digital store
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.buffer_capacity <= 0:
+            raise ValueError("buffer_capacity must be positive")
+        if self.retrieval not in ("ssa", "mips"):
+            raise ValueError("retrieval must be 'ssa' or 'mips'")
+
+    def search_config(self) -> SearchConfig:
+        if self.search is not None:
+            return self.search
+        return SSA_CONFIG if self.retrieval == "ssa" else MIPS_CONFIG
+
+    def noise_config(self) -> NoiseInjectionConfig:
+        f1, f2, f3, f4 = self.noise_factors
+        return NoiseInjectionConfig(sigma=self.sigma, f1=f1, f2=f2, f3=f3,
+                                    f4=f4, seed=self.seed)
+
+
+@dataclass
+class OVTLibrary:
+    """The trained artefacts: OVTs plus the autoencoder that encodes them."""
+
+    ovts: list[VirtualTokens]
+    autoencoder: OVTAutoencoder
+    noise_aware: bool
+
+    def __len__(self) -> int:
+        return len(self.ovts)
+
+
+def _token_rows(model: TinyCausalLM, tokenizer: Tokenizer,
+                samples: list[Sample]) -> np.ndarray:
+    """Stack normalised token-embedding rows (AE training data).
+
+    Each sample's token matrix is normalised to unit peak, matching how
+    matrices are scaled when encoded for storage/queries.
+    """
+    rows = []
+    for sample in samples:
+        matrix = model.token_embedding.weight.data[
+            tokenizer.encode(sample.input_text)]
+        rows.append(matrix / OVTAutoencoder.matrix_scale(matrix))
+    return np.concatenate(rows, axis=0)
+
+
+class OVTTrainingPipeline:
+    """Training mode: stream -> buffer -> RS -> (noise-aware) PT -> library."""
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 config: FrameworkConfig = FrameworkConfig()):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.buffer = DataBuffer(config.buffer_capacity)
+        self.library = OVTLibrary(
+            ovts=[],
+            autoencoder=OVTAutoencoder(AutoencoderConfig(
+                input_dim=model.config.d_model, code_dim=config.code_dim,
+                seed=config.seed)),
+            noise_aware=config.noise_aware,
+        )
+        self._epochs_completed = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, sample: Sample) -> bool:
+        """Add one sample; returns True when a training epoch just ran."""
+        ids = self.tokenizer.encode(sample.input_text)
+        embedding = self.model.embed_text_vector(ids)
+        self.buffer.add(sample, embedding)
+        if self.buffer.is_full:
+            self._run_epoch()
+            return True
+        return False
+
+    def run(self, samples: list[Sample]) -> OVTLibrary:
+        """Stream all samples through the buffer; return the library."""
+        for sample in samples:
+            self.observe(sample)
+        return self.library
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self) -> None:
+        samples, embeddings = self.buffer.take_all()
+        selection = select_representatives(
+            embeddings, k_config=self.config.k_selection,
+            seed=self.config.seed + self._epochs_completed)
+        representatives = [samples[i] for i in selection.representative_indices]
+        remainder = [samples[i] for i in selection.remainder_indices()]
+
+        tuning = replace(self.config.tuning,
+                         seed=self.config.seed + self._epochs_completed)
+        if self.config.noise_aware:
+            trainer = NoiseAwareTrainer(self.model, self.tokenizer, tuning,
+                                        self.config.noise_config())
+        else:
+            trainer = VanillaPromptTuner(self.model, self.tokenizer, tuning)
+        fresh_ovts = []
+        for representative in representatives:
+            artifact = trainer.fit([representative])
+            fresh_ovts.append(artifact.soft_prompt)
+        self.library.ovts.extend(fresh_ovts)
+
+        # Autoencoder upkeep (paper: the buffer remainder updates the AE).
+        # The freshly trained OVTs join the update set so the encoder also
+        # covers virtual-token statistics, not just word embeddings.
+        pieces = [_token_rows(self.model, self.tokenizer,
+                              remainder or representatives)]
+        for ovt in fresh_ovts:
+            pieces.append(ovt.matrix
+                          / OVTAutoencoder.matrix_scale(ovt.matrix))
+        rows = np.concatenate(pieces, axis=0)
+        if self.library.autoencoder.is_trained:
+            self.library.autoencoder.update(rows)
+        else:
+            self.library.autoencoder.fit(rows)
+        self._epochs_completed += 1
+
+
+class NVCiMDeployment:
+    """Inference mode: the library programmed onto NVM, serving queries."""
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 library: OVTLibrary,
+                 config: FrameworkConfig = FrameworkConfig()):
+        if not library.ovts:
+            raise ValueError("cannot deploy an empty OVT library")
+        if not library.autoencoder.is_trained:
+            raise ValueError("autoencoder must be trained before deployment")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.library = library
+        self.config = config
+        mitigation = (make_mitigation(config.mitigation)
+                      if config.mitigation != "none" else None)
+        self.engine = CiMSearchEngine(
+            get_device(config.device_name),
+            sigma=config.sigma,
+            config=config.search_config(),
+            mitigation=mitigation,
+            on_cim=config.on_cim,
+            rng=derive_rng(config.seed, "deployment", config.device_name,
+                           config.mitigation, config.retrieval),
+        )
+        encoded = []
+        self._scales: list[float] = []
+        for ovt in library.ovts:
+            codes, scale = library.autoencoder.encode_matrix(ovt.matrix)
+            encoded.append(codes)
+            self._scales.append(scale)
+        self.engine.build(encoded)
+
+    # ------------------------------------------------------------------
+    def encode_query(self, input_text: str) -> np.ndarray:
+        """User input -> token embedding rows -> autoencoder codes."""
+        ids = self.tokenizer.encode(input_text)
+        rows = self.model.token_embedding.weight.data[ids]
+        codes, _ = self.library.autoencoder.encode_matrix(rows)
+        return codes
+
+    def retrieve(self, input_text: str) -> int:
+        """Index of the OVT the scaled search picks for this input."""
+        return self.engine.retrieve(self.encode_query(input_text))
+
+    def restored_prompt(self, index: int) -> np.ndarray:
+        """Read an OVT back from NVM and decode it to model space."""
+        codes = self.engine.restore(index)
+        return self.library.autoencoder.decode_matrix(codes,
+                                                      self._scales[index])
+
+    def answer(self, input_text: str,
+               generation: GenerationConfig | None = None) -> str:
+        """Full inference path: retrieve, restore, generate."""
+        generation = generation or GenerationConfig(
+            max_new_tokens=100, temperature=0.1, eos_id=self.tokenizer.eos_id)
+        index = self.retrieve(input_text)
+        prompt = self.restored_prompt(index)
+        ids = self.tokenizer.encode(input_text)
+        out = generate(self.model, ids, generation, soft_prompt=prompt)
+        return self.tokenizer.decode(out)
+
+
+class NVCiMPT:
+    """Facade: continuous learning plus NVM-backed inference."""
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 config: FrameworkConfig = FrameworkConfig()):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.pipeline = OVTTrainingPipeline(model, tokenizer, config)
+        self._deployment: NVCiMDeployment | None = None
+
+    @property
+    def library(self) -> OVTLibrary:
+        return self.pipeline.library
+
+    def observe(self, sample: Sample) -> None:
+        """Training mode: absorb one user interaction."""
+        if self.pipeline.observe(sample):
+            self._deployment = None  # library changed; reprogram lazily
+
+    def answer(self, input_text: str,
+               generation: GenerationConfig | None = None) -> str:
+        """Inference mode: answer with the best stored OVT."""
+        if not self.library.ovts:
+            raise RuntimeError(
+                "no OVTs trained yet; feed more samples via observe()"
+            )
+        if self._deployment is None:
+            self._deployment = NVCiMDeployment(self.model, self.tokenizer,
+                                               self.library, self.config)
+        return self._deployment.answer(input_text, generation)

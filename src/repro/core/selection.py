@@ -1,0 +1,145 @@
+"""Representative Selection (RS) — paper Eqs. 1-3.
+
+When the data buffer fills, k-means clusters the sample embeddings into
+domains (Eq. 1) with a buffer-size-adaptive ``k`` (Eq. 2); within each
+cluster the sample closest (by cosine similarity) to the centroid is the
+domain representative (Eq. 3; the paper prints ``argmin`` but a
+representative must be the *most* central member, so we take the argmax —
+noted as an erratum in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import derive_rng
+
+__all__ = ["KSelectionConfig", "compute_k", "kmeans", "cosine_similarity",
+           "select_representatives", "SelectionResult"]
+
+
+@dataclass(frozen=True)
+class KSelectionConfig:
+    """Parameters of the adaptive cluster-count formula (Eq. 2)."""
+
+    base_buffer: int = 10     # b0, the base threshold
+    scale: float = 1.0        # s, the scale factor
+    n_min: int = 2
+    n_max: int = 8
+
+    def __post_init__(self):
+        if self.base_buffer <= 0:
+            raise ValueError("base_buffer must be positive")
+        if self.n_min < 1 or self.n_max < self.n_min:
+            raise ValueError("need 1 <= n_min <= n_max")
+
+
+def compute_k(buffer_size: int, config: KSelectionConfig = KSelectionConfig()) -> int:
+    """Eq. 2: k = min(max(n_min + s*log2(bs/b0), n_min), n_max)."""
+    if buffer_size <= 0:
+        raise ValueError("buffer_size must be positive")
+    grown = config.n_min + config.scale * np.log2(buffer_size / config.base_buffer)
+    k = int(np.floor(min(max(grown, config.n_min), config.n_max)))
+    return min(k, buffer_size)
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors (0 when either is zero)."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0.0:
+        return 0.0
+    return float(a @ b / norm)
+
+
+def kmeans(embeddings: np.ndarray, k: int, *, seed: int = 0,
+           n_iters: int = 25) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns (labels, centroids) with shapes (n,) and (k, d).
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be (n, d)")
+    n = embeddings.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} must be in [1, {n}]")
+    rng = derive_rng(seed, "kmeans")
+
+    # k-means++ initialisation
+    centroids = np.empty((k, embeddings.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = embeddings[first]
+    closest_sq = np.sum((embeddings - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total == 0.0:
+            centroids[i:] = embeddings[int(rng.integers(0, n))]
+            break
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centroids[i] = embeddings[pick]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((embeddings - centroids[i]) ** 2, axis=1))
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(n_iters):
+        distances = ((embeddings[:, None, :] - centroids[None, :, :]) ** 2
+                     ).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = embeddings[labels == j]
+            if members.size:
+                centroids[j] = members.mean(axis=0)
+            else:  # re-seed an empty cluster at the farthest point
+                distances_to_own = ((embeddings - centroids[labels]) ** 2
+                                    ).sum(axis=1)
+                centroids[j] = embeddings[int(distances_to_own.argmax())]
+    return labels, centroids
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Output of representative selection over one full buffer."""
+
+    representative_indices: tuple[int, ...]
+    labels: np.ndarray
+    centroids: np.ndarray
+
+    @property
+    def k(self) -> int:
+        return len(self.representative_indices)
+
+    def remainder_indices(self) -> tuple[int, ...]:
+        """Buffer indices *not* selected (used to update the autoencoder)."""
+        chosen = set(self.representative_indices)
+        return tuple(i for i in range(len(self.labels)) if i not in chosen)
+
+
+def select_representatives(
+    embeddings: np.ndarray,
+    *,
+    k: int | None = None,
+    k_config: KSelectionConfig = KSelectionConfig(),
+    seed: int = 0,
+) -> SelectionResult:
+    """Full RS pass: cluster the buffer and pick one sample per cluster."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    n = embeddings.shape[0]
+    if k is None:
+        k = compute_k(n, k_config)
+    labels, centroids = kmeans(embeddings, k, seed=seed)
+    representatives = []
+    for j in range(k):
+        members = np.flatnonzero(labels == j)
+        if members.size == 0:
+            continue
+        sims = [cosine_similarity(embeddings[i], centroids[j]) for i in members]
+        representatives.append(int(members[int(np.argmax(sims))]))
+    return SelectionResult(tuple(representatives), labels, centroids)

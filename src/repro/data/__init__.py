@@ -1,0 +1,25 @@
+"""Synthetic personalized datasets, corpus, users and the edge data buffer."""
+
+from .buffer import DataBuffer
+from .corpus import CorpusSentenceSampler, build_corpus, build_tokenizer
+from .lamp import (
+    LAMP_DATASETS,
+    LaMP1,
+    LaMP2,
+    LaMP3,
+    LaMP5,
+    LaMP7,
+    LaMPDataset,
+    Sample,
+    available_datasets,
+    make_dataset,
+)
+from .users import UserProfile, make_user, make_users
+
+__all__ = [
+    "build_tokenizer", "build_corpus", "CorpusSentenceSampler",
+    "Sample", "LaMPDataset", "LaMP1", "LaMP2", "LaMP3", "LaMP5", "LaMP7",
+    "LAMP_DATASETS", "make_dataset", "available_datasets",
+    "UserProfile", "make_user", "make_users",
+    "DataBuffer",
+]

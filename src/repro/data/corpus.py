@@ -1,0 +1,105 @@
+"""Pretraining corpus for the edge-LLM stand-ins.
+
+The corpus teaches the *generic* (non-personalized) version of every task
+format: descriptions tag to their own topic, ratings follow sentiment,
+citations match the title's topic, titles name the abstract's topic, and
+paraphrases echo the tweet.  Personalization — the part prompt tuning must
+supply — is deliberately absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..llm.tokenizer import Tokenizer
+from ..utils import derive_rng
+from . import vocabulary as V
+
+__all__ = ["build_tokenizer", "build_corpus", "CorpusSentenceSampler"]
+
+
+def build_tokenizer() -> Tokenizer:
+    """Tokenizer over the full synthetic vocabulary."""
+    return Tokenizer(V.build_vocabulary())
+
+
+class CorpusSentenceSampler:
+    """Draws format-teaching sentences, one task family at a time."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._samplers = (self._tag_sentence, self._rating_sentence,
+                          self._cite_sentence, self._title_sentence,
+                          self._paraphrase_sentence)
+
+    def sentence(self) -> str:
+        index = int(self._rng.integers(0, len(self._samplers)))
+        return self._samplers[index]()
+
+    # ------------------------------------------------------------------
+    def _pick_topic(self) -> str:
+        return str(self._rng.choice(V.TOPICS))
+
+    def _content(self, topic: str, count: int) -> list[str]:
+        words = V.CONTENT_WORDS[topic]
+        return [str(w) for w in self._rng.choice(words, size=count)]
+
+    def _tag_sentence(self) -> str:
+        topic = self._pick_topic()
+        words = self._content(topic, 3)
+        return f"movie about {' '.join(words)} {V.CUE_TAG} {topic}"
+
+    def _rating_sentence(self) -> str:
+        valence = int(self._rng.integers(-2, 3))
+        words: list[str] = []
+        if valence > 0:
+            words = [str(w) for w in
+                     self._rng.choice(V.POSITIVE_WORDS, size=valence)]
+        elif valence < 0:
+            words = [str(w) for w in
+                     self._rng.choice(V.NEGATIVE_WORDS, size=-valence)]
+        else:
+            words = [str(self._rng.choice(V.NEUTRAL_WORDS))]
+        rating = 3 + valence
+        return f"review the film was {' '.join(words)} {V.CUE_RATING} {rating}"
+
+    def _cite_sentence(self) -> str:
+        topic = self._pick_topic()
+        other = self._pick_topic()
+        while other == topic:
+            other = self._pick_topic()
+        words = self._content(topic, 2)
+        if self._rng.random() < 0.5:
+            candidates = f"ref1 {topic} ref2 {other}"
+            answer = "ref1"
+        else:
+            candidates = f"ref1 {other} ref2 {topic}"
+            answer = "ref2"
+        return (f"paper about {' '.join(words)} {candidates} "
+                f"{V.CUE_CITE} {answer}")
+
+    def _title_sentence(self) -> str:
+        topic = self._pick_topic()
+        words = self._content(topic, 4)
+        headline = V.CONTENT_WORDS[topic][0]
+        return (f"abstract {' '.join(words)} {V.CUE_TITLE} "
+                f"study of {topic} {headline}")
+
+    def _paraphrase_sentence(self) -> str:
+        topic = self._pick_topic()
+        words = self._content(topic, 3)
+        body = " ".join(words)
+        return f"tweet says {body} {V.CUE_PARAPHRASE} {body}"
+
+
+def build_corpus(tokenizer: Tokenizer, *, n_sentences: int = 3000,
+                 seed: int = 0) -> np.ndarray:
+    """Token stream of ``n_sentences`` sentences separated by EOS."""
+    if n_sentences <= 0:
+        raise ValueError("n_sentences must be positive")
+    sampler = CorpusSentenceSampler(derive_rng(seed, "corpus"))
+    pieces: list[np.ndarray] = []
+    for _ in range(n_sentences):
+        ids = tokenizer.encode(sampler.sentence(), add_eos=True)
+        pieces.append(ids)
+    return np.concatenate(pieces)

@@ -1,0 +1,238 @@
+"""Synthetic LaMP-style personalized task generators.
+
+Five datasets mirror the paper's selection:
+
+* **LaMP-1** — binary citation identification (which reference would this
+  user cite).
+* **LaMP-2** — 15-way movie tagging; descriptions mix two topics and the
+  user's preference disambiguates.
+* **LaMP-3** — 1..5 product-rating prediction with a per-user harshness
+  bias.
+* **LaMP-5** — scholarly title generation (ROUGE-1).
+* **LaMP-7** — tweet paraphrasing in the user's style (ROUGE-1).
+
+Every sample's ``input_text`` ends with the task's cue word so that the
+label/continuation is exactly what the LM should generate next.  Each user's
+data is organised into latent *domains* (topic-driven), which is the domain
+shift the paper's framework targets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import derive_rng
+from . import vocabulary as V
+from .users import UserProfile
+
+__all__ = ["Sample", "LaMPDataset", "LaMP1", "LaMP2", "LaMP3", "LaMP5",
+           "LaMP7", "LAMP_DATASETS", "make_dataset", "available_datasets"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One user-generated datum: model input, expected output, metadata."""
+
+    task: str
+    user_id: int
+    input_text: str
+    target_text: str
+    domain: str
+
+    def full_text(self) -> str:
+        """Input and target joined — the prompt-tuning training string."""
+        return f"{self.input_text} {self.target_text}"
+
+
+class LaMPDataset(ABC):
+    """Interface each synthetic LaMP task implements."""
+
+    name: str
+    metric: str  # "accuracy" or "rouge1"
+
+    def user_domains(self, user: UserProfile) -> list[str]:
+        """The latent domains this user's data is drawn from."""
+        rng = derive_rng(user.user_id, self.name, "domains")
+        domains = []
+        for topic in user.preferred_topics:
+            distractor = self._pick_distractor(topic, rng)
+            domains.append(f"{topic}+{distractor}")
+        return domains
+
+    @staticmethod
+    def _pick_distractor(topic: str, rng: np.random.Generator) -> str:
+        choices = [t for t in V.TOPICS if t != topic]
+        return str(rng.choice(choices))
+
+    def generate(self, user: UserProfile, count: int, *, seed: int = 0,
+                 domains: list[str] | None = None) -> list[Sample]:
+        """Draw ``count`` samples for ``user`` across their domains."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        domains = domains or self.user_domains(user)
+        rng = derive_rng(seed, self.name, "gen", user.user_id)
+        samples = []
+        for i in range(count):
+            domain = domains[i % len(domains)]
+            samples.append(self.sample(user, domain, rng))
+        rng.shuffle(samples)  # interleave domains like a real session mix
+        return samples
+
+    @abstractmethod
+    def sample(self, user: UserProfile, domain: str,
+               rng: np.random.Generator) -> Sample:
+        """Draw one sample from ``domain`` for ``user``."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split_domain(domain: str) -> tuple[str, str]:
+        preferred, _, distractor = domain.partition("+")
+        return preferred, distractor
+
+    @staticmethod
+    def _words(topic: str, count: int, rng: np.random.Generator) -> list[str]:
+        return [str(w) for w in rng.choice(V.CONTENT_WORDS[topic], size=count)]
+
+
+class LaMP1(LaMPDataset):
+    """Binary citation identification.
+
+    The candidate ordering is a property of the *domain* (the venue/area
+    the user is currently writing in), so the correct reference slot is
+    stable within a domain — learnable by that domain's OVT — while
+    differing across domains, which defeats a one4all prompt.
+    """
+
+    name = "LaMP-1"
+    metric = "accuracy"
+
+    def user_domains(self, user: UserProfile) -> list[str]:
+        rng = derive_rng(user.user_id, self.name, "domains")
+        domains = []
+        for topic in user.preferred_topics:
+            distractor = self._pick_distractor(topic, rng)
+            slot = int(rng.integers(1, 3))
+            domains.append(f"{topic}+{distractor}+{slot}")
+        return domains
+
+    def sample(self, user, domain, rng):
+        preferred, distractor, slot_str = domain.split("+")
+        slot = int(slot_str)
+        title = self._words(preferred, 2, rng) + self._words(distractor, 2, rng)
+        rng.shuffle(title)
+        if slot == 1:
+            candidates = f"ref1 {preferred} ref2 {distractor}"
+            answer = "ref1"
+        else:
+            candidates = f"ref1 {distractor} ref2 {preferred}"
+            answer = "ref2"
+        text = (f"paper about {' '.join(title)} {candidates} {V.CUE_CITE}")
+        return Sample(self.name, user.user_id, text, answer, domain)
+
+
+class LaMP2(LaMPDataset):
+    """15-way movie tag classification."""
+
+    name = "LaMP-2"
+    metric = "accuracy"
+
+    def sample(self, user, domain, rng):
+        preferred, distractor = self._split_domain(domain)
+        words = self._words(preferred, 2, rng) + self._words(distractor, 2, rng)
+        rng.shuffle(words)
+        text = f"movie about {' '.join(words)} {V.CUE_TAG}"
+        return Sample(self.name, user.user_id, text, preferred, domain)
+
+
+class LaMP3(LaMPDataset):
+    """Ordinal 1..5 rating prediction with per-user bias."""
+
+    name = "LaMP-3"
+    metric = "accuracy"
+
+    def user_domains(self, user: UserProfile) -> list[str]:
+        # Rating domains pair a topic with a sentiment level the user is
+        # currently writing in (product categories reviewed in batches).
+        rng = derive_rng(user.user_id, self.name, "domains")
+        domains = []
+        for topic in user.preferred_topics:
+            valence = int(rng.integers(-2, 3))
+            domains.append(f"{topic}+{valence:+d}")
+        return domains
+
+    def sample(self, user, domain, rng):
+        topic, _, valence_str = domain.partition("+")
+        valence = int(valence_str)
+        if valence > 0:
+            sentiment = [str(w) for w in rng.choice(V.POSITIVE_WORDS,
+                                                    size=valence)]
+        elif valence < 0:
+            sentiment = [str(w) for w in rng.choice(V.NEGATIVE_WORDS,
+                                                    size=-valence)]
+        else:
+            sentiment = [str(rng.choice(V.NEUTRAL_WORDS))]
+        context = self._words(topic, 1, rng)
+        rating = int(np.clip(3 + valence + user.rating_bias, 1, 5))
+        text = (f"review the film was {' '.join(sentiment)} "
+                f"{context[0]} {V.CUE_RATING}")
+        return Sample(self.name, user.user_id, text, str(rating), domain)
+
+
+class LaMP5(LaMPDataset):
+    """Scholarly title generation (ROUGE-1)."""
+
+    name = "LaMP-5"
+    metric = "rouge1"
+
+    def user_domains(self, user: UserProfile) -> list[str]:
+        return list(user.preferred_topics)
+
+    def sample(self, user, domain, rng):
+        topic = domain
+        body = self._words(topic, 4, rng)
+        headline = V.CONTENT_WORDS[topic][0]
+        style = user.style_words[0]
+        text = f"abstract {' '.join(body)} {V.CUE_TITLE}"
+        target = f"study of {topic} {headline} {style}"
+        return Sample(self.name, user.user_id, text, target, domain)
+
+
+class LaMP7(LaMPDataset):
+    """Tweet paraphrasing in the user's voice (ROUGE-1)."""
+
+    name = "LaMP-7"
+    metric = "rouge1"
+
+    def user_domains(self, user: UserProfile) -> list[str]:
+        return list(user.preferred_topics)
+
+    def sample(self, user, domain, rng):
+        topic = domain
+        body = self._words(topic, 3, rng)
+        first, second = user.style_words[0], user.style_words[1]
+        text = f"tweet says {' '.join(body)} {V.CUE_PARAPHRASE}"
+        target = f"{first} {' '.join(body)} {second}"
+        return Sample(self.name, user.user_id, text, target, domain)
+
+
+LAMP_DATASETS: dict[str, type[LaMPDataset]] = {
+    cls.name: cls for cls in (LaMP1, LaMP2, LaMP3, LaMP5, LaMP7)
+}
+
+
+def available_datasets() -> list[str]:
+    """Dataset names accepted by :func:`make_dataset`."""
+    return sorted(LAMP_DATASETS)
+
+
+def make_dataset(name: str) -> LaMPDataset:
+    """Instantiate a dataset by its paper name (e.g. ``"LaMP-2"``)."""
+    try:
+        return LAMP_DATASETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None

@@ -1,0 +1,93 @@
+"""The closed synthetic vocabulary shared by corpus, tasks and models.
+
+The language is built around 15 "topics" (mirroring LaMP-2's 15 movie
+tags).  Each topic owns content words that co-occur with it, giving the
+embedding space the cluster structure that representative selection and
+OVT retrieval exploit.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TOPICS", "CONTENT_WORDS", "POSITIVE_WORDS", "NEGATIVE_WORDS",
+    "NEUTRAL_WORDS", "RATING_WORDS", "REF_TOKENS", "STYLE_WORDS",
+    "GLUE_WORDS", "CUE_TAG", "CUE_RATING", "CUE_CITE", "CUE_TITLE",
+    "CUE_PARAPHRASE", "build_vocabulary", "topic_of_content_word",
+]
+
+TOPICS: tuple[str, ...] = (
+    "action", "comedy", "drama", "horror", "romance",
+    "scifi", "fantasy", "thriller", "mystery", "documentary",
+    "western", "musical", "animation", "crime", "war",
+)
+
+CONTENT_WORDS: dict[str, tuple[str, ...]] = {
+    "action": ("explosion", "chase", "fight", "stunt"),
+    "comedy": ("joke", "laugh", "gag", "prank"),
+    "drama": ("family", "tears", "conflict", "secret"),
+    "horror": ("ghost", "scream", "darkness", "curse"),
+    "romance": ("love", "kiss", "heart", "wedding"),
+    "scifi": ("robot", "space", "alien", "laser"),
+    "fantasy": ("dragon", "magic", "quest", "kingdom"),
+    "thriller": ("suspense", "danger", "escape", "conspiracy"),
+    "mystery": ("detective", "clue", "riddle", "suspect"),
+    "documentary": ("nature", "history", "interview", "archive"),
+    "western": ("cowboy", "desert", "saloon", "sheriff"),
+    "musical": ("song", "dance", "melody", "stage"),
+    "animation": ("cartoon", "sketch", "pixel", "puppet"),
+    "crime": ("heist", "gang", "evidence", "trial"),
+    "war": ("battle", "soldier", "trench", "siege"),
+}
+
+POSITIVE_WORDS: tuple[str, ...] = ("great", "wonderful", "excellent",
+                                   "enjoyable", "superb")
+NEGATIVE_WORDS: tuple[str, ...] = ("terrible", "boring", "awful",
+                                   "dull", "poor")
+NEUTRAL_WORDS: tuple[str, ...] = ("average", "okay", "plain")
+
+RATING_WORDS: tuple[str, ...] = ("1", "2", "3", "4", "5")
+REF_TOKENS: tuple[str, ...] = ("ref1", "ref2")
+STYLE_WORDS: tuple[str, ...] = ("wow", "hmm", "lol", "indeed",
+                                "truly", "honestly", "frankly", "really")
+
+CUE_TAG = "tag"
+CUE_RATING = "rating"
+CUE_CITE = "cite"
+CUE_TITLE = "title"
+CUE_PARAPHRASE = "paraphrase"
+
+GLUE_WORDS: tuple[str, ...] = (
+    "the", "a", "is", "was", "this", "movie", "film", "about", "story",
+    "of", "and", "review", "paper", "tweet", "says", "with", "very",
+    "study", "abstract", "i", "think", "it", "felt", "plot", "scene",
+)
+
+
+def build_vocabulary() -> list[str]:
+    """Every word of the synthetic language (specials excluded)."""
+    words: list[str] = []
+    words.extend(TOPICS)
+    for topic in TOPICS:
+        words.extend(CONTENT_WORDS[topic])
+    words.extend(POSITIVE_WORDS)
+    words.extend(NEGATIVE_WORDS)
+    words.extend(NEUTRAL_WORDS)
+    words.extend(RATING_WORDS)
+    words.extend(REF_TOKENS)
+    words.extend(STYLE_WORDS)
+    words.extend(GLUE_WORDS)
+    words.extend((CUE_TAG, CUE_RATING, CUE_CITE, CUE_TITLE, CUE_PARAPHRASE))
+    deduped = list(dict.fromkeys(words))
+    if len(deduped) != len(words):
+        raise AssertionError("vocabulary words must be unique")
+    return words
+
+
+_WORD_TO_TOPIC = {word: topic
+                  for topic, group in CONTENT_WORDS.items()
+                  for word in group}
+
+
+def topic_of_content_word(word: str) -> str | None:
+    """Topic owning ``word``, or None for non-content words."""
+    return _WORD_TO_TOPIC.get(word)

@@ -1,0 +1,54 @@
+"""Evaluation metrics: classification accuracy and ROUGE-1.
+
+Matches the paper's protocol: Accuracy for LaMP-1/2/3, ROUGE-1 for
+LaMP-5/7, averaged over users.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["rouge1", "Rouge1Score", "classification_accuracy", "score_output"]
+
+
+@dataclass(frozen=True)
+class Rouge1Score:
+    """Unigram overlap scores between a candidate and a reference."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def rouge1(candidate: str, reference: str) -> Rouge1Score:
+    """ROUGE-1 precision/recall/F1 on whitespace unigrams."""
+    cand_tokens = candidate.split()
+    ref_tokens = reference.split()
+    if not cand_tokens or not ref_tokens:
+        return Rouge1Score(0.0, 0.0, 0.0)
+    overlap_counts = Counter(cand_tokens) & Counter(ref_tokens)
+    overlap = sum(overlap_counts.values())
+    precision = overlap / len(cand_tokens)
+    recall = overlap / len(ref_tokens)
+    if precision + recall == 0.0:
+        return Rouge1Score(0.0, 0.0, 0.0)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return Rouge1Score(precision, recall, f1)
+
+
+def classification_accuracy(prediction: str, label: str) -> float:
+    """1.0 when the first predicted word equals the label word."""
+    predicted_words = prediction.split()
+    if not predicted_words:
+        return 0.0
+    return 1.0 if predicted_words[0] == label.strip() else 0.0
+
+
+def score_output(metric: str, prediction: str, target: str) -> float:
+    """Dispatch on the dataset's metric name ('accuracy' or 'rouge1')."""
+    if metric == "accuracy":
+        return classification_accuracy(prediction, target)
+    if metric == "rouge1":
+        return rouge1(prediction, target).f1
+    raise ValueError(f"unknown metric {metric!r}")

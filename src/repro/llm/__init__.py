@@ -1,0 +1,27 @@
+"""Edge-LLM substrate: tokenizer, transformer, generation, model zoo."""
+
+from .attention import KVPrefix, MultiHeadSelfAttention
+from .generation import GenerationConfig, generate
+from .pretrain import PretrainConfig, pretrain_lm
+from .quantization import quantization_error, quantize_array, quantize_model_weights
+from .registry import (
+    MODEL_REGISTRY,
+    EdgeModelSpec,
+    available_models,
+    build_model,
+    clear_model_cache,
+    load_pretrained_model,
+)
+from .tokenizer import BOS, EOS, PAD, SEP, UNK, Tokenizer
+from .transformer import LMConfig, TinyCausalLM, TransformerBlock
+
+__all__ = [
+    "Tokenizer", "PAD", "BOS", "EOS", "UNK", "SEP",
+    "MultiHeadSelfAttention", "KVPrefix",
+    "LMConfig", "TransformerBlock", "TinyCausalLM",
+    "GenerationConfig", "generate",
+    "PretrainConfig", "pretrain_lm",
+    "quantize_array", "quantize_model_weights", "quantization_error",
+    "EdgeModelSpec", "MODEL_REGISTRY", "available_models",
+    "build_model", "load_pretrained_model", "clear_model_cache",
+]

@@ -1,0 +1,82 @@
+"""Multi-head causal self-attention with external key/value prefixes.
+
+The KV-prefix hook is what makes prefix tuning and P-tuning v2 possible:
+both inject trained ``(key, value)`` matrices that every query position may
+attend to, ahead of the causal window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ag import Linear, Module, Tensor, cat, softmax
+
+__all__ = ["MultiHeadSelfAttention", "KVPrefix"]
+
+# A per-layer prefix: (keys, values), each of shape (batch, heads, P, d_head).
+KVPrefix = tuple[Tensor, Tensor]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard causal self-attention; optional KV prefix of length P."""
+
+    def __init__(self, d_model: int, n_heads: int, *,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, prefix_kv: KVPrefix | None = None) -> Tensor:
+        """Attend over ``x`` (batch, T, d_model), optionally over a prefix.
+
+        Prefix keys/values are visible to *all* query positions; the causal
+        mask applies only among the real tokens.
+        """
+        batch, length, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, length)
+        k = self._split_heads(self.k_proj(x), batch, length)
+        v = self._split_heads(self.v_proj(x), batch, length)
+
+        prefix_len = 0
+        if prefix_kv is not None:
+            pk, pv = prefix_kv
+            if pk.shape != pv.shape:
+                raise ValueError("prefix keys/values must share a shape")
+            if pk.shape[1] != self.n_heads or pk.shape[3] != self.d_head:
+                raise ValueError(
+                    f"prefix shaped {pk.shape} incompatible with "
+                    f"{self.n_heads} heads of size {self.d_head}"
+                )
+            prefix_len = pk.shape[2]
+            k = cat([pk, k], axis=2)
+            v = cat([pv, v], axis=2)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
+        mask = self._causal_mask(length, prefix_len)
+        scores = scores.masked_fill(mask, _NEG_INF)
+        weights = softmax(scores, axis=-1)
+        context = weights @ v  # (batch, heads, T, d_head)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.d_model)
+        return self.out_proj(merged)
+
+    @staticmethod
+    def _causal_mask(length: int, prefix_len: int) -> np.ndarray:
+        """Boolean mask, True = blocked. Shape (T, P+T), prefix never blocked."""
+        token_part = np.triu(np.ones((length, length), dtype=bool), k=1)
+        if prefix_len == 0:
+            return token_part
+        prefix_part = np.zeros((length, prefix_len), dtype=bool)
+        return np.concatenate([prefix_part, token_part], axis=1)

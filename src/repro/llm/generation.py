@@ -1,0 +1,107 @@
+"""Autoregressive text generation for the edge-LLM stand-ins.
+
+Matches the paper's inference settings: temperature 0.1 (near-greedy) and at
+most 100 generated tokens.  Generation optionally consumes the two prompt
+conditioning mechanisms (soft-prompt embeddings and per-layer KV prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ag import Tensor, cat, no_grad
+from .attention import KVPrefix
+from .transformer import TinyCausalLM
+
+__all__ = ["GenerationConfig", "generate"]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Sampling parameters (paper defaults: temperature 0.1, 100 tokens)."""
+
+    max_new_tokens: int = 100
+    temperature: float = 0.1
+    seed: int = 0
+    eos_id: int | None = None
+
+    def __post_init__(self):
+        if self.max_new_tokens <= 0:
+            raise ValueError("max_new_tokens must be positive")
+        if self.temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+
+
+def _sample(logits: np.ndarray, temperature: float,
+            rng: np.random.Generator) -> int:
+    if temperature == 0.0:
+        return int(np.argmax(logits))
+    scaled = (logits - logits.max()) / temperature
+    probs = np.exp(scaled)
+    probs /= probs.sum()
+    return int(rng.choice(probs.size, p=probs))
+
+
+def generate(
+    model: TinyCausalLM,
+    token_ids: np.ndarray,
+    config: GenerationConfig = GenerationConfig(),
+    *,
+    soft_prompt: Tensor | np.ndarray | None = None,
+    prefix_kv: list[KVPrefix] | None = None,
+) -> np.ndarray:
+    """Generate a continuation of ``token_ids`` (1-D array of ids).
+
+    Args:
+        model: the language model (used in eval mode, no gradients).
+        token_ids: the user-input ids.
+        config: sampling parameters.
+        soft_prompt: optional (P, d_model) virtual-token matrix prepended to
+            the input embeddings — the OVT path of the paper.
+        prefix_kv: optional per-layer KV prefixes (prefix tuning path).
+
+    Returns:
+        The generated ids only (prompt excluded), stopping at ``eos_id``.
+    """
+    token_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    if token_ids.size == 0:
+        raise ValueError("generate() needs at least one prompt token")
+    rng = np.random.default_rng(config.seed)
+    was_training = model.training
+    model.eval()
+    prompt_len = 0 if soft_prompt is None else np.asarray(
+        soft_prompt.data if isinstance(soft_prompt, Tensor) else soft_prompt
+    ).shape[0]
+    generated: list[int] = []
+    try:
+        with no_grad():
+            ids = token_ids.copy()
+            budget = model.config.max_seq_len - prompt_len
+            for _ in range(config.max_new_tokens):
+                if ids.size >= budget:
+                    break
+                logits = _forward(model, ids, soft_prompt, prefix_kv)
+                next_id = _sample(logits, config.temperature, rng)
+                if config.eos_id is not None and next_id == config.eos_id:
+                    break
+                generated.append(next_id)
+                ids = np.append(ids, next_id)
+    finally:
+        if was_training:
+            model.train()
+    return np.asarray(generated, dtype=np.int64)
+
+
+def _forward(model: TinyCausalLM, ids: np.ndarray,
+             soft_prompt, prefix_kv) -> np.ndarray:
+    """Logits of the final position, with optional prompt conditioning."""
+    if soft_prompt is None:
+        logits = model(ids[None, :], prefix_kv=prefix_kv)
+    else:
+        prompt = soft_prompt if isinstance(soft_prompt, Tensor) else Tensor(soft_prompt)
+        token_emb = model.embed(ids[None, :])
+        full = cat([prompt.reshape(1, *prompt.shape), token_emb], axis=1)
+        logits = model(embeddings=full, prefix_kv=prefix_kv)
+    return logits.data[0, -1]

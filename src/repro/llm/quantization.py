@@ -1,0 +1,83 @@
+"""Post-training weight quantization (GPTQ-style stand-in).
+
+The paper's third model is Mistral-7B-GPTQ — a 4-bit group-quantized
+checkpoint.  We reproduce the *property that matters* for the experiments:
+the base model's weights are frozen at reduced precision while prompt tuning
+adapts only the continuous virtual tokens.  Quantization here is symmetric
+per-group round-to-nearest, the same numeric format GPTQ emits (GPTQ's
+Hessian-based rounding order only changes *which* values round up, not the
+format).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ag import Linear, Module
+
+__all__ = ["quantize_array", "quantize_model_weights", "quantization_error"]
+
+
+def quantize_array(weights: np.ndarray, bits: int = 4,
+                   group_size: int = 32) -> np.ndarray:
+    """Symmetric per-group quantization of a 2-D weight matrix.
+
+    Groups run along the input dimension (rows), each with its own scale,
+    mirroring GPTQ's per-group scales.
+
+    Returns the dequantized float32 array (values on the quantized grid).
+    """
+    if bits < 2 or bits > 8:
+        raise ValueError(f"bits must be in [2, 8], got {bits}")
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    weights = np.asarray(weights, dtype=np.float32)
+    if weights.ndim != 2:
+        raise ValueError("quantize_array expects a 2-D matrix")
+    q_max = 2 ** (bits - 1) - 1
+    out = np.empty_like(weights)
+    rows = weights.shape[0]
+    for start in range(0, rows, group_size):
+        block = weights[start:start + group_size]
+        scale = np.abs(block).max() / q_max
+        if scale == 0.0:
+            out[start:start + group_size] = 0.0
+            continue
+        quantized = np.clip(np.round(block / scale), -q_max - 1, q_max)
+        out[start:start + group_size] = quantized * scale
+    return out
+
+
+def quantize_model_weights(model: Module, bits: int = 4,
+                           group_size: int = 32) -> int:
+    """Quantize every Linear weight of ``model`` in place.
+
+    Embeddings and LayerNorm affine parameters stay full precision, the
+    convention GPTQ checkpoints follow.  Returns the number of Linear layers
+    quantized.
+    """
+    count = 0
+    for module in _iter_modules(model):
+        if isinstance(module, Linear):
+            module.weight.data = quantize_array(module.weight.data, bits,
+                                                group_size)
+            count += 1
+    return count
+
+
+def quantization_error(weights: np.ndarray, bits: int = 4,
+                       group_size: int = 32) -> float:
+    """RMS error introduced by quantizing ``weights``."""
+    quantized = quantize_array(weights, bits, group_size)
+    return float(np.sqrt(np.mean((quantized - weights) ** 2)))
+
+
+def _iter_modules(module: Module):
+    yield module
+    for value in vars(module).values():
+        if isinstance(value, Module):
+            yield from _iter_modules(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, Module):
+                    yield from _iter_modules(item)

@@ -1,0 +1,92 @@
+"""Whitespace tokenizer over the closed synthetic vocabulary.
+
+The reproduction uses a synthetic language (see :mod:`repro.data.corpus`),
+so a word-level tokenizer is lossless and keeps sequences short, which is
+what the edge-LLM stand-ins need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tokenizer", "PAD", "BOS", "EOS", "UNK", "SEP"]
+
+PAD = "<pad>"
+BOS = "<bos>"
+EOS = "<eos>"
+UNK = "<unk>"
+SEP = "<sep>"
+
+_SPECIALS = (PAD, BOS, EOS, UNK, SEP)
+
+
+class Tokenizer:
+    """Bidirectional word <-> id mapping with reserved special tokens."""
+
+    def __init__(self, vocabulary: Sequence[str]):
+        words = list(dict.fromkeys(vocabulary))  # preserve order, dedupe
+        overlap = set(words) & set(_SPECIALS)
+        if overlap:
+            raise ValueError(f"vocabulary reuses special tokens: {sorted(overlap)}")
+        self._id_to_word = list(_SPECIALS) + words
+        self._word_to_id = {w: i for i, w in enumerate(self._id_to_word)}
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_word)
+
+    @property
+    def pad_id(self) -> int:
+        return self._word_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._word_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._word_to_id[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self._word_to_id[UNK]
+
+    @property
+    def sep_id(self) -> int:
+        return self._word_to_id[SEP]
+
+    # ------------------------------------------------------------------
+    def token_id(self, word: str) -> int:
+        """Id of a single known word (raises for unknown words)."""
+        try:
+            return self._word_to_id[word]
+        except KeyError:
+            raise KeyError(f"word {word!r} not in vocabulary") from None
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def encode(self, text: str, *, add_bos: bool = False,
+               add_eos: bool = False) -> np.ndarray:
+        """Encode whitespace-separated ``text`` to an int64 id array."""
+        ids: list[int] = []
+        if add_bos:
+            ids.append(self.bos_id)
+        for word in text.split():
+            ids.append(self._word_to_id.get(word, self.unk_id))
+        if add_eos:
+            ids.append(self.eos_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int], *, skip_special: bool = True) -> str:
+        """Decode an id sequence back to space-joined words."""
+        words = []
+        for i in ids:
+            word = self._id_to_word[int(i)]
+            if skip_special and word in _SPECIALS:
+                continue
+            words.append(word)
+        return " ".join(words)

@@ -1,0 +1,128 @@
+"""Decoder-only transformer language model (the edge-LLM stand-in).
+
+The model exposes two hooks the prompt-tuning methods rely on:
+
+* ``forward(embeddings=...)`` — callers may pass pre-built input embeddings,
+  which is how soft prompts are prepended (vanilla PT, DEPT);
+* ``forward(prefix_kv=[...])`` — per-layer key/value prefixes (prefix
+  tuning, P-tuning v2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ag import Embedding, Dropout, LayerNorm, Linear, Module, Tensor, gelu
+from .attention import KVPrefix, MultiHeadSelfAttention
+
+__all__ = ["LMConfig", "TransformerBlock", "TinyCausalLM"]
+
+
+@dataclass(frozen=True)
+class LMConfig:
+    """Architecture hyper-parameters for :class:`TinyCausalLM`."""
+
+    vocab_size: int
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 3
+    d_ff: int = 128
+    max_seq_len: int = 256
+    dropout: float = 0.0
+
+    def __post_init__(self):
+        if self.vocab_size <= 0:
+            raise ValueError("vocab_size must be positive")
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.max_seq_len <= 0:
+            raise ValueError("max_seq_len must be positive")
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: LN -> attention -> LN -> GELU MLP."""
+
+    def __init__(self, config: LMConfig, *, rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(config.d_model)
+        self.attn = MultiHeadSelfAttention(config.d_model, config.n_heads, rng=rng)
+        self.ln2 = LayerNorm(config.d_model)
+        self.ff1 = Linear(config.d_model, config.d_ff, rng=rng)
+        self.ff2 = Linear(config.d_ff, config.d_model, rng=rng)
+        self.drop = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor, prefix_kv: KVPrefix | None = None) -> Tensor:
+        x = x + self.attn(self.ln1(x), prefix_kv=prefix_kv)
+        x = x + self.drop(self.ff2(gelu(self.ff1(self.ln2(x)))))
+        return x
+
+
+class TinyCausalLM(Module):
+    """A small decoder-only LM with soft-prompt and KV-prefix hooks."""
+
+    def __init__(self, config: LMConfig, *, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.blocks = [TransformerBlock(config, rng=rng)
+                       for _ in range(config.n_layers)]
+        self.ln_final = LayerNorm(config.d_model)
+        self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray) -> Tensor:
+        """Token embeddings without positions, shape (..., d_model)."""
+        return self.token_embedding(np.asarray(token_ids))
+
+    def embed_text_vector(self, token_ids: np.ndarray) -> np.ndarray:
+        """Mean-pooled embedding vector used for buffer/query embeddings.
+
+        This is the ``E(x)`` of the paper's framework figure: the raw
+        embedding-layer representation of a data sample, used by
+        representative selection and by retrieval.
+        """
+        ids = np.asarray(token_ids).reshape(-1)
+        if ids.size == 0:
+            raise ValueError("cannot embed an empty token sequence")
+        return self.token_embedding.weight.data[ids].mean(axis=0).copy()
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        token_ids: np.ndarray | None = None,
+        *,
+        embeddings: Tensor | None = None,
+        prefix_kv: list[KVPrefix] | None = None,
+    ) -> Tensor:
+        """Return logits of shape (batch, T, vocab).
+
+        Exactly one of ``token_ids`` (batch, T) or ``embeddings``
+        (batch, T, d_model) must be given.  ``prefix_kv`` carries one
+        (key, value) pair per layer, or None.
+        """
+        if (token_ids is None) == (embeddings is None):
+            raise ValueError("pass exactly one of token_ids or embeddings")
+        if embeddings is None:
+            token_ids = np.asarray(token_ids)
+            if token_ids.ndim == 1:
+                token_ids = token_ids[None, :]
+            embeddings = self.token_embedding(token_ids)
+        batch, length, _ = embeddings.shape
+        if length > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence of {length} exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        if prefix_kv is not None and len(prefix_kv) != len(self.blocks):
+            raise ValueError(
+                f"prefix_kv has {len(prefix_kv)} entries for "
+                f"{len(self.blocks)} layers"
+            )
+        positions = np.arange(length)
+        x = embeddings + self.position_embedding(positions)
+        for i, block in enumerate(self.blocks):
+            x = block(x, prefix_kv=None if prefix_kv is None else prefix_kv[i])
+        return self.lm_head(self.ln_final(x))

@@ -1,0 +1,32 @@
+"""Noise-mitigation baselines: SWV, CxDNN, CorrectNet (paper Table I)."""
+
+from ..cim.accelerator import NullMitigation
+from .correctnet import CorrectNetMitigation
+from .cxdnn import CxDNNCompensation
+from .swv import SelectiveWriteVerify
+
+__all__ = ["SelectiveWriteVerify", "CxDNNCompensation",
+           "CorrectNetMitigation", "NullMitigation", "make_mitigation",
+           "available_mitigations"]
+
+_FACTORIES = {
+    "none": NullMitigation,
+    "swv": SelectiveWriteVerify,
+    "cxdnn": CxDNNCompensation,
+    "correctnet": CorrectNetMitigation,
+}
+
+
+def available_mitigations() -> list[str]:
+    """Names accepted by :func:`make_mitigation`."""
+    return sorted(_FACTORIES)
+
+
+def make_mitigation(name: str):
+    """Instantiate a mitigation strategy by name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown mitigation {name!r}; available: {available_mitigations()}"
+        ) from None

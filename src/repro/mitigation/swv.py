@@ -1,0 +1,59 @@
+"""Selective write-verify (SWV), after SWIM (Yan et al., DAC 2022).
+
+SWIM's insight: write-verify is expensive, so only verify the weights (here:
+cells) whose error actually matters.  In a bit-sliced int16 layout the error
+contribution of a cell grows with its positional weight, so SWV verifies the
+most-significant slices only, re-pulsing cells whose conductance deviates
+from the target by more than a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SelectiveWriteVerify"]
+
+
+@dataclass
+class SelectiveWriteVerify:
+    """Write-verify on the top ``verify_slices`` bit planes."""
+
+    verify_slices: int = 2          # MSB slices to verify
+    tolerance_levels: float = 0.15  # allowed |deviation|, conductance units
+    max_iterations: int = 1         # SWIM's point: a tight pulse budget
+
+    name = "swv"
+
+    def __post_init__(self):
+        if self.verify_slices <= 0:
+            raise ValueError("verify_slices must be positive")
+        if self.tolerance_levels <= 0:
+            raise ValueError("tolerance_levels must be positive")
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+
+    # ------------------------------------------------------------------
+    def post_program(self, matrix) -> None:
+        first_verified = matrix.n_slices - self.verify_slices
+        for slice_index, tile in matrix.iter_tiles_with_slice():
+            if slice_index < first_verified:
+                continue
+            for _ in range(self.max_iterations):
+                read = tile.read_cells() / (tile.device.n_levels - 1)
+                target = tile.device.level_values()[tile.target_levels]
+                error = np.abs(read - target)
+                mask = error > self.tolerance_levels
+                if not mask.any():
+                    break
+                tile.reprogram_cells(mask)
+
+    def prepare_values(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def correct_output(self, matrix, outputs: np.ndarray) -> np.ndarray:
+        return outputs
+
+    def correct_read(self, matrix, values: np.ndarray) -> np.ndarray:
+        return values

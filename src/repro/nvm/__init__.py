@@ -1,0 +1,18 @@
+"""NVM device models, quantization and crossbar-array simulation."""
+
+from .crossbar import CrossbarArray, CrossbarStats
+from .device_models import (
+    NVM_DEVICES,
+    REFERENCE_SIGMA,
+    NVMDevice,
+    available_devices,
+    get_device,
+)
+from .quantize import Int16Codec, digits_to_values, slice_to_digits
+
+__all__ = [
+    "NVMDevice", "NVM_DEVICES", "get_device", "available_devices",
+    "REFERENCE_SIGMA",
+    "Int16Codec", "slice_to_digits", "digits_to_values",
+    "CrossbarArray", "CrossbarStats",
+]

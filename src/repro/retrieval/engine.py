@@ -1,0 +1,190 @@
+"""OVT retrieval engines: the paper's SSA, and MIPS as the baseline.
+
+Both engines store encoded OVT matrices on NVM crossbars (one column per
+OVT and per scale) and answer queries with in-memory matrix multiplies.
+The Weighted Multi-Scale Dot Product (Eq. 5) is
+
+    WMSDP(e, p) = sum_i w_i * (Pool_i(e) . Pool_i(p)) / sum_i w_i
+
+with scales {1, 2, 4} and weights {1.0, 0.8, 0.6}; MIPS is the degenerate
+single-scale, weight-1 case (a plain max-inner-product search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cim.accelerator import CiMMatrix, MitigationHooks
+from ..nvm.device_models import NVMDevice
+from .pooling import multi_scale_vectors
+
+__all__ = ["SearchConfig", "SSA_CONFIG", "MIPS_CONFIG", "CiMSearchEngine",
+           "wmsdp_reference"]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Scales/weights of the search plus the NVM array geometry."""
+
+    scales: tuple[int, ...] = (1, 2, 4)
+    weights: tuple[float, ...] = (1.0, 0.8, 0.6)
+    pad_length: int = 16
+    adc_bits: int = 8
+    normalize_scales: bool = True
+
+    def __post_init__(self):
+        if len(self.scales) != len(self.weights):
+            raise ValueError("scales and weights must pair up")
+        if not self.scales:
+            raise ValueError("need at least one scale")
+        for scale in self.scales:
+            if self.pad_length % scale != 0:
+                raise ValueError(
+                    f"pad_length {self.pad_length} not divisible by {scale}"
+                )
+        if any(w <= 0 for w in self.weights):
+            raise ValueError("weights must be positive")
+
+
+SSA_CONFIG = SearchConfig(scales=(1, 2, 4), weights=(1.0, 0.8, 0.6))
+MIPS_CONFIG = SearchConfig(scales=(1,), weights=(1.0,))
+
+
+def _unit(vector: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vector))
+    return vector if norm == 0.0 else vector / norm
+
+
+def wmsdp_reference(query: np.ndarray, candidate: np.ndarray,
+                    config: SearchConfig = SSA_CONFIG) -> float:
+    """Noise-free WMSDP between two token matrices (digital reference)."""
+    q_vectors = multi_scale_vectors(query, config.scales, config.pad_length)
+    c_vectors = multi_scale_vectors(candidate, config.scales, config.pad_length)
+    total = 0.0
+    for scale, weight in zip(config.scales, config.weights):
+        q, c = q_vectors[scale], c_vectors[scale]
+        if config.normalize_scales:
+            q, c = _unit(q), _unit(c)
+        total += weight * float(q @ c)
+    return total / sum(config.weights)
+
+
+class CiMSearchEngine:
+    """Stores encoded OVTs on NVM and retrieves by WMSDP / MIPS."""
+
+    def __init__(
+        self,
+        device: NVMDevice,
+        *,
+        sigma: float = 0.1,
+        config: SearchConfig = SSA_CONFIG,
+        mitigation: MitigationHooks | None = None,
+        on_cim: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        self.device = device
+        self.sigma = sigma
+        self.config = config
+        self.mitigation = mitigation
+        self.on_cim = on_cim
+        self._rng = rng or np.random.default_rng(0)
+        self._scale_matrices: dict[int, CiMMatrix] = {}
+        self._digital_vectors: dict[int, np.ndarray] = {}
+        self._norms: dict[int, np.ndarray] = {}
+        self._row_counts: list[int] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stored(self) -> int:
+        return self._count
+
+    def build(self, encoded_ovts: list[np.ndarray]) -> None:
+        """Program the scaled copies of every OVT into crossbars.
+
+        ``encoded_ovts`` are (tokens, code_dim) matrices in the autoencoder
+        space.  Re-building reprograms all arrays (new noise draw), exactly
+        like rewriting the NVM.
+        """
+        if not encoded_ovts:
+            raise ValueError("need at least one OVT to build the store")
+        self._row_counts = [m.shape[0] for m in encoded_ovts]
+        self._count = len(encoded_ovts)
+        self._scale_matrices.clear()
+        self._digital_vectors.clear()
+        self._norms = {}
+        for scale in self.config.scales:
+            columns = []
+            norms = []
+            for m in encoded_ovts:
+                vector = multi_scale_vectors(m, (scale,),
+                                             self.config.pad_length)[scale]
+                norm = float(np.linalg.norm(vector))
+                if self.config.normalize_scales and norm > 0:
+                    vector = vector / norm
+                columns.append(vector)
+                norms.append(norm if norm > 0 else 1.0)
+            self._norms[scale] = np.asarray(norms, dtype=np.float32)
+            stacked = np.stack(columns, axis=1)  # (rows, n_ovts)
+            if self.on_cim:
+                self._scale_matrices[scale] = CiMMatrix(
+                    stacked, self.device, sigma=self.sigma,
+                    adc_bits=self.config.adc_bits,
+                    mitigation=self.mitigation, rng=self._rng,
+                )
+            else:
+                self._digital_vectors[scale] = stacked
+
+    def query(self, encoded_query: np.ndarray) -> np.ndarray:
+        """WMSDP similarity of the query against every stored OVT."""
+        self._require_built()
+        vectors = multi_scale_vectors(encoded_query, self.config.scales,
+                                      self.config.pad_length)
+        total = np.zeros(self._count, dtype=np.float64)
+        for scale, weight in zip(self.config.scales, self.config.weights):
+            vector = vectors[scale]
+            if self.config.normalize_scales:
+                vector = _unit(vector)
+            if self.on_cim:
+                similarity = self._scale_matrices[scale].matvec(vector)
+            else:
+                similarity = vector @ self._digital_vectors[scale]
+            total += weight * similarity.astype(np.float64)
+        return (total / sum(self.config.weights)).astype(np.float32)
+
+    def retrieve(self, encoded_query: np.ndarray) -> int:
+        """Index of the best-matching stored OVT."""
+        return int(np.argmax(self.query(encoded_query)))
+
+    def restore(self, index: int) -> np.ndarray:
+        """Read OVT ``index`` back from NVM (noisy), (tokens, code_dim)."""
+        self._require_built()
+        if not 0 <= index < self._count:
+            raise IndexError(f"OVT index {index} out of range")
+        scale_one = self.config.scales[0]
+        if scale_one != 1:
+            raise RuntimeError("restore requires the scale-1 store")
+        if self.on_cim:
+            matrix = self._scale_matrices[1].read_matrix()
+        else:
+            matrix = self._digital_vectors[1]
+        column = matrix[:, index]
+        if self.config.normalize_scales:
+            # Stored columns are unit vectors; the norm travels digitally.
+            column = column * self._norms[1][index]
+        code_dim = column.size // self.config.pad_length
+        full = column.reshape(self.config.pad_length, code_dim)
+        return full[:self._row_counts[index]].copy()
+
+    def subarray_count(self) -> int:
+        """Physical subarrays in use (drives the cost model)."""
+        self._require_built()
+        if not self.on_cim:
+            return 0
+        return sum(m.n_subarrays for m in self._scale_matrices.values())
+
+    def _require_built(self) -> None:
+        if self._count == 0:
+            raise RuntimeError("search engine is empty; call build() first")

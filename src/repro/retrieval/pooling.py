@@ -1,0 +1,54 @@
+"""Multi-scale average pooling over token matrices (paper Eq. 5).
+
+A token matrix (rows = tokens, columns = encoded dims) is pooled along the
+token axis with non-overlapping windows of size 1, 2 and 4 — token level,
+adjacent-pair level and broader contextual level.  Matrices are first
+padded/truncated to a fixed row count so that pooled representations of a
+query and a stored OVT align position-by-position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pad_rows", "avg_pool_rows", "multi_scale_vectors"]
+
+
+def pad_rows(matrix: np.ndarray, length: int) -> np.ndarray:
+    """Zero-pad or truncate ``matrix`` to exactly ``length`` rows."""
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D token matrix")
+    if length <= 0:
+        raise ValueError("length must be positive")
+    rows, dims = matrix.shape
+    if rows >= length:
+        return matrix[:length].copy()
+    out = np.zeros((length, dims), dtype=np.float32)
+    out[:rows] = matrix
+    return out
+
+
+def avg_pool_rows(matrix: np.ndarray, scale: int) -> np.ndarray:
+    """Average non-overlapping windows of ``scale`` rows.
+
+    The row count must be divisible by ``scale`` (callers pad first).
+    Scale 1 is the identity.
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale == 1:
+        return matrix.copy()
+    rows, dims = matrix.shape
+    if rows % scale != 0:
+        raise ValueError(f"{rows} rows not divisible by scale {scale}")
+    return matrix.reshape(rows // scale, scale, dims).mean(axis=1)
+
+
+def multi_scale_vectors(matrix: np.ndarray, scales: tuple[int, ...],
+                        length: int) -> dict[int, np.ndarray]:
+    """Flattened pooled representations of ``matrix`` at each scale."""
+    padded = pad_rows(matrix, length)
+    return {scale: avg_pool_rows(padded, scale).reshape(-1)
+            for scale in scales}

@@ -1,0 +1,25 @@
+"""Prompt tuning methods: vanilla PT, prefix tuning, DEPT, P-tuning v2."""
+
+from .apply import apply_embedding_delta, generate_with_artifact
+from .base import (
+    IGNORE_INDEX,
+    PromptArtifact,
+    TuningConfig,
+    VirtualTokens,
+    build_training_ids,
+    make_target_vector,
+)
+from .dept import DEPTTuner
+from .prefix import PrefixTuner, kv_prefix_tensors
+from .ptuning_v2 import PTuningV2Tuner
+from .trainer import freeze_model, train_prompt_parameters
+from .vanilla import VanillaPromptTuner, initial_prompt_matrix, prompt_loss_for_sample
+
+__all__ = [
+    "VirtualTokens", "PromptArtifact", "TuningConfig", "IGNORE_INDEX",
+    "build_training_ids", "make_target_vector",
+    "VanillaPromptTuner", "PrefixTuner", "DEPTTuner", "PTuningV2Tuner",
+    "initial_prompt_matrix", "prompt_loss_for_sample", "kv_prefix_tensors",
+    "freeze_model", "train_prompt_parameters",
+    "apply_embedding_delta", "generate_with_artifact",
+]

@@ -1,0 +1,126 @@
+"""Shared types and sequence plumbing for all prompt-tuning methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..ag import Tensor
+from ..data.lamp import Sample
+from ..llm.tokenizer import Tokenizer
+
+__all__ = ["VirtualTokens", "PromptArtifact", "TuningConfig",
+           "build_training_ids", "IGNORE_INDEX"]
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class VirtualTokens:
+    """A trained set of virtual tokens (the OVT when trained per-sample).
+
+    ``matrix`` has shape (n_tokens, d_model) — the soft prompt prepended to
+    input embeddings at inference time.
+    """
+
+    matrix: np.ndarray
+    source: Sample | None = None
+    domain: str = ""
+
+    def __post_init__(self):
+        self.matrix = np.asarray(self.matrix, dtype=np.float32)
+        if self.matrix.ndim != 2:
+            raise ValueError("virtual tokens must be a (n_tokens, d_model) matrix")
+
+    @property
+    def n_tokens(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def d_model(self) -> int:
+        return self.matrix.shape[1]
+
+    def copy(self) -> "VirtualTokens":
+        return VirtualTokens(self.matrix.copy(), self.source, self.domain)
+
+
+@dataclass
+class PromptArtifact:
+    """What a tuning method produces: either a soft prompt, per-layer KV
+    prefixes, or both (DEPT additionally carries an embedding delta)."""
+
+    soft_prompt: VirtualTokens | None = None
+    prefix_kv: list[tuple[np.ndarray, np.ndarray]] | None = None
+    embedding_delta: np.ndarray | None = None
+    method: str = ""
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """Hyper-parameters shared by every prompt-tuning method.
+
+    The paper uses HuggingFace prompt tuning with Adam at lr=1e-4 and a
+    scheduler; the default lr here is scaled up for the much smaller
+    stand-in models.
+    """
+
+    n_virtual_tokens: int = 8
+    steps: int = 60
+    lr: float = 0.05
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+    warmup_fraction: float = 0.1
+    anchor_weight: float = 10.0  # L2 pull toward the embedding-space init
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_virtual_tokens <= 0:
+            raise ValueError("n_virtual_tokens must be positive")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if self.anchor_weight < 0:
+            raise ValueError("anchor_weight must be non-negative")
+
+
+# A hook applied to the virtual-token tensor inside the forward pass.
+# Noise-aware training supplies one; plain training uses identity.
+PromptTransform = Callable[[Tensor], Tensor]
+
+
+def build_training_ids(
+    sample: Sample, tokenizer: Tokenizer,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Token ids and loss mask for one training sample.
+
+    Returns ``(full_ids, loss_positions)`` where ``full_ids`` is
+    input + target + EOS and ``loss_positions[j]`` is True when token j
+    belongs to the supervised continuation (target or EOS).
+    """
+    input_ids = tokenizer.encode(sample.input_text)
+    target_ids = tokenizer.encode(sample.target_text)
+    if input_ids.size == 0 or target_ids.size == 0:
+        raise ValueError("sample has empty input or target text")
+    full = np.concatenate([input_ids, target_ids, [tokenizer.eos_id]])
+    loss_positions = np.zeros(full.size, dtype=bool)
+    loss_positions[input_ids.size:] = True
+    return full, loss_positions
+
+
+def make_target_vector(full_ids: np.ndarray, loss_positions: np.ndarray,
+                       prompt_len: int) -> np.ndarray:
+    """Next-token targets for a sequence preceded by ``prompt_len`` virtual
+    tokens.
+
+    The model input is ``[prompt, full_ids[:-1]]`` (length
+    ``prompt_len + T - 1``); position p predicts ``full_ids[p - prompt_len
+    + 1]``.  Unsupervised positions get :data:`IGNORE_INDEX`.
+    """
+    length = prompt_len + full_ids.size - 1
+    targets = np.full(length, IGNORE_INDEX, dtype=np.int64)
+    for position in range(length):
+        j = position - prompt_len + 1
+        if 1 <= j < full_ids.size and loss_positions[j]:
+            targets[position] = full_ids[j]
+    return targets

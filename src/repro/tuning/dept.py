@@ -1,0 +1,83 @@
+"""DEPT: Decomposed Prompt Tuning (Shi & Lipani, 2023).
+
+Decomposes the parameter budget into (i) a *shorter* soft prompt and (ii) a
+low-rank update of the frozen word-embedding table.  The Fig. 1 "DEPT"
+baseline trains this one4all on the user's buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ag import Parameter, Tensor, cat, cross_entropy
+from ..data.lamp import Sample
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+from .base import (
+    IGNORE_INDEX,
+    PromptArtifact,
+    TuningConfig,
+    VirtualTokens,
+    build_training_ids,
+    make_target_vector,
+)
+from .trainer import train_prompt_parameters
+from .vanilla import initial_prompt_matrix
+
+__all__ = ["DEPTTuner"]
+
+
+class DEPTTuner:
+    """Short soft prompt + low-rank embedding delta."""
+
+    method_name = "dept"
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 config: TuningConfig = TuningConfig(), *, rank: int = 4):
+        if rank <= 0:
+            raise ValueError("rank must be positive")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.rank = rank
+
+    def fit(self, samples: list[Sample]) -> PromptArtifact:
+        cfg = self.model.config
+        rng = np.random.default_rng(self.config.seed)
+        # DEPT halves the prompt length, spending the rest on the low-rank
+        # embedding update.
+        short_len = max(1, self.config.n_virtual_tokens // 2)
+        init = initial_prompt_matrix(self.model, self.tokenizer, samples,
+                                     short_len, rng)
+        prompt = Parameter(init)
+        lora_a = Parameter(rng.normal(0.0, 0.02, (cfg.vocab_size, self.rank)))
+        lora_b = Parameter(np.zeros((self.rank, cfg.d_model)))
+        params = [prompt, lora_a, lora_b]
+
+        def sample_loss(sample: Sample) -> Tensor:
+            full_ids, loss_positions = build_training_ids(sample, self.tokenizer)
+            inputs = full_ids[:-1]
+            delta_table = lora_a @ lora_b           # (V, d)
+            delta = delta_table[inputs].reshape(1, inputs.size, cfg.d_model)
+            token_emb = self.model.embed(inputs[None, :]) + delta
+            prompt_batch = prompt.reshape(1, *prompt.shape)
+            embeddings = cat([prompt_batch, token_emb], axis=1)
+            logits = self.model(embeddings=embeddings)
+            targets = make_target_vector(full_ids, loss_positions, short_len)
+            vocab = logits.shape[-1]
+            return cross_entropy(logits.reshape(-1, vocab), targets,
+                                 ignore_index=IGNORE_INDEX)
+
+        def loss_fn(batch: list[Sample]) -> Tensor:
+            losses = [sample_loss(s) for s in batch]
+            total = losses[0]
+            for item in losses[1:]:
+                total = total + item
+            return total * (1.0 / len(losses))
+
+        train_prompt_parameters(self.model, params, loss_fn, samples,
+                                self.config)
+        tokens = VirtualTokens(prompt.data.copy())
+        delta = (lora_a.data @ lora_b.data).astype(np.float32)
+        return PromptArtifact(soft_prompt=tokens, embedding_delta=delta,
+                              method=self.method_name)

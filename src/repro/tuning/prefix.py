@@ -1,0 +1,99 @@
+"""Prefix tuning (Li & Liang, 2021).
+
+Trains per-layer key/value prefixes that every token may attend to.  The
+keys/values are reparameterised through a small MLP during training (as in
+the original paper) and flattened to raw KV matrices in the artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ag import Parameter, Tensor, cross_entropy, gelu
+from ..data.lamp import Sample
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+from .base import (
+    IGNORE_INDEX,
+    PromptArtifact,
+    TuningConfig,
+    build_training_ids,
+    make_target_vector,
+)
+from .trainer import train_prompt_parameters
+
+__all__ = ["PrefixTuner", "prefix_loss_for_sample", "kv_prefix_tensors"]
+
+
+def kv_prefix_tensors(raw: list[tuple[np.ndarray, np.ndarray]]):
+    """Convert stored numpy KV prefixes to the tensors the model expects."""
+    return [(Tensor(k), Tensor(v)) for k, v in raw]
+
+
+def prefix_loss_for_sample(model: TinyCausalLM,
+                           prefix_kv: list[tuple[Tensor, Tensor]],
+                           sample: Sample, tokenizer: Tokenizer) -> Tensor:
+    """LM loss of one sample conditioned on per-layer KV prefixes."""
+    full_ids, loss_positions = build_training_ids(sample, tokenizer)
+    inputs = full_ids[:-1]
+    logits = model(inputs[None, :], prefix_kv=prefix_kv)
+    targets = make_target_vector(full_ids, loss_positions, prompt_len=0)
+    vocab = logits.shape[-1]
+    return cross_entropy(logits.reshape(-1, vocab), targets,
+                         ignore_index=IGNORE_INDEX)
+
+
+class PrefixTuner:
+    """Trains reparameterised per-layer KV prefixes."""
+
+    method_name = "prefix-tuning"
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 config: TuningConfig = TuningConfig(),
+                 *, hidden_dim: int = 32):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.hidden_dim = hidden_dim
+
+    def fit(self, samples: list[Sample]) -> PromptArtifact:
+        cfg = self.model.config
+        n_layers, n_heads = cfg.n_layers, cfg.n_heads
+        d_head = cfg.d_model // n_heads
+        p = self.config.n_virtual_tokens
+        rng = np.random.default_rng(self.config.seed)
+
+        # Reparameterisation: prefix embedding -> MLP -> all layers' KV.
+        out_dim = n_layers * 2 * n_heads * d_head
+        embed = Parameter(rng.normal(0.0, 0.5, (p, self.hidden_dim)))
+        w1 = Parameter(rng.normal(0.0, 0.2, (self.hidden_dim, self.hidden_dim)))
+        w2 = Parameter(rng.normal(0.0, 0.2, (self.hidden_dim, out_dim)))
+        params = [embed, w1, w2]
+
+        def materialise() -> list[tuple[Tensor, Tensor]]:
+            hidden = gelu(embed @ w1)
+            flat = hidden @ w2  # (p, out_dim)
+            per_layer = flat.reshape(p, n_layers, 2, n_heads, d_head)
+            prefixes = []
+            for layer in range(n_layers):
+                block = per_layer[:, layer]  # (p, 2, heads, d_head)
+                keys = block[:, 0].transpose(1, 0, 2).reshape(1, n_heads, p, d_head)
+                values = block[:, 1].transpose(1, 0, 2).reshape(1, n_heads, p, d_head)
+                prefixes.append((keys, values))
+            return prefixes
+
+        def loss_fn(batch: list[Sample]) -> Tensor:
+            prefixes = materialise()
+            losses = [prefix_loss_for_sample(self.model, prefixes, s,
+                                             self.tokenizer)
+                      for s in batch]
+            total = losses[0]
+            for item in losses[1:]:
+                total = total + item
+            return total * (1.0 / len(losses))
+
+        train_prompt_parameters(self.model, params, loss_fn, samples,
+                                self.config)
+        final = materialise()
+        raw = [(k.data.copy(), v.data.copy()) for k, v in final]
+        return PromptArtifact(prefix_kv=raw, method=self.method_name)

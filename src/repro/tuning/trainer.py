@@ -1,0 +1,82 @@
+"""Generic prompt-tuning training loop.
+
+All four methods share this loop: Adam + linear warmup/decay over the
+trainable prompt parameters only, with the base model frozen.  A
+``transform`` hook lets noise-aware training perturb the virtual tokens
+inside every forward pass (Eq. 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ag import Adam, LinearWarmupDecay, Parameter, Tensor, clip_grad_norm
+from ..data.lamp import Sample
+from ..llm.transformer import TinyCausalLM
+from .base import TuningConfig
+
+__all__ = ["freeze_model", "train_prompt_parameters"]
+
+
+@contextlib.contextmanager
+def freeze_model(model: TinyCausalLM):
+    """Temporarily mark all model parameters as non-trainable.
+
+    This both protects the base model during prompt tuning and prunes the
+    autograd graph (frozen branches record no backward closures).
+    """
+    params = model.parameters()
+    previous = [p.requires_grad for p in params]
+    for p in params:
+        p.requires_grad = False
+    try:
+        yield
+    finally:
+        for p, flag in zip(params, previous):
+            p.requires_grad = flag
+
+
+def train_prompt_parameters(
+    model: TinyCausalLM,
+    parameters: Sequence[Parameter],
+    loss_fn: Callable[[list[Sample]], Tensor],
+    samples: list[Sample],
+    config: TuningConfig,
+    *,
+    batch_size: int = 8,
+) -> list[float]:
+    """Optimise ``parameters`` to minimise ``loss_fn`` over ``samples``.
+
+    Returns the per-step loss history.  ``loss_fn`` receives a minibatch of
+    samples and must return a scalar loss tensor that depends on
+    ``parameters``.
+    """
+    if not samples:
+        raise ValueError("prompt tuning needs at least one sample")
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(list(parameters), lr=config.lr,
+                     weight_decay=config.weight_decay)
+    scheduler = LinearWarmupDecay(
+        optimizer,
+        warmup_steps=max(1, int(config.steps * config.warmup_fraction)),
+        total_steps=config.steps,
+    )
+    history: list[float] = []
+    with freeze_model(model):
+        for _ in range(config.steps):
+            if len(samples) <= batch_size:
+                batch = samples
+            else:
+                picks = rng.choice(len(samples), size=batch_size, replace=False)
+                batch = [samples[i] for i in picks]
+            optimizer.zero_grad()
+            loss = loss_fn(batch)
+            loss.backward()
+            clip_grad_norm(list(parameters), config.grad_clip)
+            optimizer.step()
+            scheduler.step()
+            history.append(float(loss.data))
+    return history

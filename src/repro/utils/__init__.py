@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG management and validation helpers."""
+
+from .rng import derive_rng, rng_from_seed, spawn_seeds
+
+__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds"]

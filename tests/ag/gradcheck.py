@@ -1,0 +1,43 @@
+"""Finite-difference gradient checking used across the autograd tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ag import Tensor
+
+
+def numeric_grad(f: Callable[[np.ndarray], float], x: np.ndarray,
+                 eps: float = 1e-2) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``x``."""
+    x = x.astype(np.float64).copy()
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = f(x.astype(np.float32))
+        flat_x[i] = original - eps
+        minus = f(x.astype(np.float32))
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(build: Callable[[Tensor], Tensor], x: np.ndarray,
+                   rtol: float = 5e-2, atol: float = 5e-3) -> None:
+    """Assert autograd and numeric gradients of ``sum(build(x))`` agree."""
+    tensor = Tensor(x, requires_grad=True)
+    out = build(tensor)
+    loss = out.sum()
+    loss.backward()
+    assert tensor.grad is not None, "no gradient reached the input"
+
+    def scalar(values: np.ndarray) -> float:
+        return float(build(Tensor(values)).sum().data)
+
+    expected = numeric_grad(scalar, np.asarray(x, dtype=np.float64))
+    np.testing.assert_allclose(tensor.grad, expected, rtol=rtol, atol=atol)

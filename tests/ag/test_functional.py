@@ -1,0 +1,109 @@
+"""Tests for activations and losses."""
+
+import numpy as np
+import pytest
+
+from repro.ag import Tensor, cross_entropy, gelu, log_softmax, mse_loss, softmax
+from tests.ag.gradcheck import check_gradient
+
+RNG = np.random.default_rng(11)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(5, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), rtol=1e-5)
+
+    def test_shift_invariance(self):
+        x = RNG.normal(size=(3, 4))
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+    def test_large_values_stable(self):
+        out = softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_gradient(self):
+        weights = Tensor(RNG.normal(size=(2, 5)))
+        check_gradient(lambda t: softmax(t) * weights, RNG.normal(size=(2, 5)))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), atol=1e-5
+        )
+
+
+class TestGelu:
+    def test_known_values(self):
+        out = gelu(Tensor([0.0, 1.0, -1.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.8412, -0.1588], atol=1e-3)
+
+    def test_gradient(self):
+        check_gradient(gelu, RNG.normal(size=(6,)))
+
+    def test_monotone_for_positive(self):
+        x = np.linspace(0.1, 3.0, 20, dtype=np.float32)
+        out = gelu(Tensor(x)).data
+        assert np.all(np.diff(out) > 0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self):
+        logits = RNG.normal(size=(4, 5)).astype(np.float32)
+        targets = np.array([0, 2, 4, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(4), targets]))
+        np.testing.assert_allclose(loss.data, expected, rtol=1e-5)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 3, 0])
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data - logits.data.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        probs[np.arange(3), targets] -= 1.0
+        np.testing.assert_allclose(logits.grad, probs / 3.0, rtol=1e-5, atol=1e-6)
+
+    def test_ignore_index_masks_positions(self):
+        logits = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        targets = np.array([1, -100, 2, -100])
+        loss = cross_entropy(logits, targets, ignore_index=-100)
+        loss.backward()
+        np.testing.assert_allclose(logits.grad[1], np.zeros(5))
+        np.testing.assert_allclose(logits.grad[3], np.zeros(5))
+        kept = cross_entropy(Tensor(logits.data[[0, 2]]), targets[[0, 2]])
+        np.testing.assert_allclose(loss.data, kept.data, rtol=1e-6)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([-1, -1]),
+                          ignore_index=-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.data < 1e-4
+
+
+class TestMseLoss:
+    def test_zero_for_identical(self):
+        x = Tensor(RNG.normal(size=(3, 3)))
+        assert mse_loss(x, x).data == 0.0
+
+    def test_gradient(self):
+        target = Tensor(RNG.normal(size=(2, 3)))
+        check_gradient(lambda t: mse_loss(t, target), RNG.normal(size=(2, 3)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse_loss(Tensor(np.zeros((2, 2))), Tensor(np.zeros((2, 3))))

@@ -1,0 +1,189 @@
+"""Tests for the NVCiM-PT framework orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrameworkConfig,
+    NVCiMDeployment,
+    NVCiMPT,
+    OVTLibrary,
+    OVTTrainingPipeline,
+)
+from repro.compression import AutoencoderConfig, OVTAutoencoder
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.tuning import TuningConfig, VirtualTokens
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def fast_config(**overrides):
+    defaults = dict(buffer_capacity=10, device_name="NVM-3", sigma=0.1,
+                    tuning=TuningConfig(steps=6, lr=0.05), seed=0)
+    defaults.update(overrides)
+    return FrameworkConfig(**defaults)
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+class TestFrameworkConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(buffer_capacity=0)
+        with pytest.raises(ValueError):
+            FrameworkConfig(retrieval="knn")
+
+    def test_search_config_derivation(self):
+        assert FrameworkConfig(retrieval="ssa").search_config().scales == (1, 2, 4)
+        assert FrameworkConfig(retrieval="mips").search_config().scales == (1,)
+
+    def test_noise_config_inherits_sigma(self):
+        config = FrameworkConfig(sigma=0.07)
+        assert config.noise_config().sigma == 0.07
+
+
+class TestTrainingPipeline:
+    def test_epoch_fires_when_buffer_full(self, setup):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok, fast_config())
+        fired = [pipeline.observe(s) for s in stream_for(0, 10)]
+        assert fired[-1] and not any(fired[:-1])
+        assert len(pipeline.library.ovts) >= 1
+        assert pipeline.library.autoencoder.is_trained
+
+    def test_partial_buffer_trains_nothing(self, setup):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok, fast_config())
+        pipeline.run(stream_for(0, 7))
+        assert len(pipeline.library.ovts) == 0
+
+    def test_ovts_accumulate_across_epochs(self, setup):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok, fast_config())
+        pipeline.run(stream_for(0, 10))
+        first = len(pipeline.library.ovts)
+        pipeline.run(stream_for(0, 10, seed=1))
+        assert len(pipeline.library.ovts) > first
+
+    def test_k_follows_buffer_size(self, setup):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok, fast_config())
+        pipeline.run(stream_for(0, 10))
+        # Eq. 2 with bs=10, b0=10: k = n_min = 2.
+        assert len(pipeline.library.ovts) == 2
+
+    def test_noise_aware_flag_recorded(self, setup):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok,
+                                       fast_config(noise_aware=False))
+        assert pipeline.library.noise_aware is False
+
+
+class TestDeployment:
+    def _library(self, setup, **overrides):
+        model, tok = setup
+        pipeline = OVTTrainingPipeline(model, tok, fast_config(**overrides))
+        pipeline.run(stream_for(0, 10))
+        return pipeline.library
+
+    def test_empty_library_rejected(self, setup):
+        model, tok = setup
+        ae = OVTAutoencoder(AutoencoderConfig(input_dim=model.config.d_model))
+        empty = OVTLibrary(ovts=[], autoencoder=ae, noise_aware=True)
+        with pytest.raises(ValueError):
+            NVCiMDeployment(model, tok, empty, fast_config())
+
+    def test_untrained_autoencoder_rejected(self, setup):
+        model, tok = setup
+        ae = OVTAutoencoder(AutoencoderConfig(input_dim=model.config.d_model))
+        library = OVTLibrary(
+            ovts=[VirtualTokens(np.zeros((4, model.config.d_model)))],
+            autoencoder=ae, noise_aware=True)
+        with pytest.raises(ValueError):
+            NVCiMDeployment(model, tok, library, fast_config())
+
+    def test_retrieve_returns_valid_index(self, setup):
+        model, tok = setup
+        library = self._library(setup)
+        deployment = NVCiMDeployment(model, tok, library, fast_config())
+        index = deployment.retrieve(stream_for(0, 1)[0].input_text)
+        assert 0 <= index < len(library.ovts)
+
+    def test_restored_prompt_shape_and_scale(self, setup):
+        model, tok = setup
+        library = self._library(setup)
+        deployment = NVCiMDeployment(model, tok, library, fast_config())
+        prompt = deployment.restored_prompt(0)
+        original = library.ovts[0].matrix
+        assert prompt.shape == original.shape
+        # The restored prompt keeps the original magnitude (scale metadata).
+        assert 0.3 < np.abs(prompt).max() / np.abs(original).max() < 3.0
+
+    def test_answer_produces_text(self, setup):
+        model, tok = setup
+        library = self._library(setup)
+        deployment = NVCiMDeployment(model, tok, library, fast_config())
+        out = deployment.answer(stream_for(0, 1)[0].input_text,
+                                GenerationConfig(max_new_tokens=3,
+                                                 temperature=0.0,
+                                                 eos_id=tok.eos_id))
+        assert isinstance(out, str)
+
+    def test_digital_mode_restore_is_exact_in_code_space(self, setup):
+        model, tok = setup
+        library = self._library(setup)
+        deployment = NVCiMDeployment(model, tok, library,
+                                     fast_config(on_cim=False))
+        codes, scale = library.autoencoder.encode_matrix(
+            library.ovts[0].matrix)
+        restored_codes = deployment.engine.restore(0)
+        np.testing.assert_allclose(restored_codes, codes, atol=1e-4)
+
+    def test_mitigation_wired_through(self, setup):
+        model, tok = setup
+        library = self._library(setup)
+        deployment = NVCiMDeployment(model, tok, library,
+                                     fast_config(mitigation="cxdnn"))
+        engine_matrix = deployment.engine._scale_matrices[1]
+        assert "column_gain" in engine_matrix.calibration
+
+
+class TestFacade:
+    def test_observe_then_answer(self, setup):
+        model, tok = setup
+        system = NVCiMPT(model, tok, fast_config())
+        with pytest.raises(RuntimeError):
+            system.answer("movie about robot space tag")
+        for sample in stream_for(0, 10):
+            system.observe(sample)
+        out = system.answer(stream_for(0, 1)[0].input_text,
+                            GenerationConfig(max_new_tokens=3,
+                                             temperature=0.0,
+                                             eos_id=tok.eos_id))
+        assert isinstance(out, str)
+
+    def test_deployment_rebuilt_after_new_epoch(self, setup):
+        model, tok = setup
+        system = NVCiMPT(model, tok, fast_config())
+        for sample in stream_for(0, 10):
+            system.observe(sample)
+        system.answer(stream_for(0, 1)[0].input_text,
+                      GenerationConfig(max_new_tokens=1))
+        first = system._deployment
+        for sample in stream_for(0, 10, seed=2):
+            system.observe(sample)
+        assert system._deployment is None  # invalidated
+        system.answer(stream_for(0, 1)[0].input_text,
+                      GenerationConfig(max_new_tokens=1))
+        assert system._deployment is not first

@@ -1,0 +1,94 @@
+"""Tests for Eq. 4 noise injection and noise-aware training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ag import Parameter, Tensor
+from repro.core import NoiseInjectionConfig, NoiseInjector
+
+RNG = np.random.default_rng(59)
+
+
+class TestNoiseInjectionConfig:
+    def test_tier_boundaries_match_paper(self):
+        config = NoiseInjectionConfig(f1=1.0, f2=2.0, f3=3.0, f4=4.0)
+        mags = np.array([0.9, 0.76, 0.75, 0.6, 0.5, 0.4, 0.25, 0.2, 0.0])
+        factors = config.factors_for(mags)
+        # |S^| > 0.75 -> f1;  0.5 <= |S^| <= 0.75 -> f2;
+        # 0.25 <= |S^| < 0.5 -> f3;  |S^| < 0.25 -> f4.
+        np.testing.assert_allclose(
+            factors, [1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0])
+
+    def test_negative_magnitudes_use_absolute_value(self):
+        config = NoiseInjectionConfig(f1=1.0, f2=2.0, f3=3.0, f4=4.0)
+        np.testing.assert_allclose(config.factors_for(np.array([-0.9])), [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseInjectionConfig(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseInjectionConfig(f2=-1.0)
+
+    def test_default_tiers_mirror_device_physics(self):
+        """Middle-magnitude tiers are noisier, like Table II middle levels."""
+        config = NoiseInjectionConfig()
+        assert config.f2 > config.f1
+        assert config.f3 > config.f4
+
+
+class TestNoiseInjector:
+    def test_noise_magnitude_scales_with_sigma(self):
+        values = RNG.normal(size=(500, 8)).astype(np.float32)
+        small = NoiseInjector(NoiseInjectionConfig(sigma=0.01, seed=0))
+        large = NoiseInjector(NoiseInjectionConfig(sigma=0.2, seed=0))
+        assert large.sample_noise(values).std() > small.sample_noise(values).std()
+
+    def test_zero_sigma_is_identity(self):
+        injector = NoiseInjector(NoiseInjectionConfig(sigma=0.0))
+        prompt = Parameter(RNG.normal(size=(4, 8)))
+        out = injector(prompt)
+        assert out is prompt
+
+    def test_zero_prompt_is_identity(self):
+        injector = NoiseInjector(NoiseInjectionConfig(sigma=0.1))
+        prompt = Parameter(np.zeros((4, 8)))
+        assert injector(prompt) is prompt
+
+    def test_gradient_passes_straight_through(self):
+        injector = NoiseInjector(NoiseInjectionConfig(sigma=0.1, seed=1))
+        prompt = Parameter(RNG.normal(size=(4, 8)))
+        noisy = injector(prompt)
+        noisy.sum().backward()
+        np.testing.assert_allclose(prompt.grad, np.ones((4, 8)))
+
+    def test_fresh_noise_each_call(self):
+        injector = NoiseInjector(NoiseInjectionConfig(sigma=0.1, seed=2))
+        prompt = Parameter(RNG.normal(size=(4, 8)))
+        a = injector(prompt).data
+        b = injector(prompt).data
+        assert not np.allclose(a, b)
+
+    def test_noise_proportional_to_peak(self):
+        config = NoiseInjectionConfig(sigma=0.1, seed=3)
+        values = RNG.normal(size=(100, 8)).astype(np.float32)
+        scaled = values * 10.0
+        noise_small = NoiseInjector(config).sample_noise(values)
+        noise_large = NoiseInjector(config).sample_noise(scaled)
+        assert noise_large.std() == pytest.approx(10 * noise_small.std(),
+                                                  rel=0.2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.01, 0.3), st.integers(0, 100))
+    def test_tiered_std_bounds(self, sigma, seed):
+        """Injected noise std stays within [f_min, f_max] * sigma * peak."""
+        config = NoiseInjectionConfig(sigma=sigma, seed=seed)
+        values = np.random.default_rng(seed).normal(
+            size=(200, 16)).astype(np.float32)
+        noise = NoiseInjector(config).sample_noise(values)
+        peak = np.abs(values).max()
+        f_min = min(config.f1, config.f2, config.f3, config.f4)
+        f_max = max(config.f1, config.f2, config.f3, config.f4)
+        assert noise.std() >= 0.5 * f_min * sigma * peak
+        assert noise.std() <= 1.5 * f_max * sigma * peak

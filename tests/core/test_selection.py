@@ -1,0 +1,142 @@
+"""Tests for representative selection (k-means, Eq. 2, Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    KSelectionConfig,
+    compute_k,
+    cosine_similarity,
+    kmeans,
+    select_representatives,
+)
+
+RNG = np.random.default_rng(53)
+
+
+def blobs(k=3, per=10, dim=8, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(k, dim)) * 3.0
+    points = np.concatenate(
+        [center + rng.normal(0, spread, (per, dim)) for center in centers])
+    labels = np.repeat(np.arange(k), per)
+    return points, labels
+
+
+class TestComputeK:
+    def test_paper_default_at_buffer_25(self):
+        assert compute_k(25) == 3
+
+    def test_monotone_in_buffer_size(self):
+        ks = [compute_k(bs) for bs in (10, 20, 40, 80, 320)]
+        assert ks == sorted(ks)
+
+    def test_clamped_to_bounds(self):
+        config = KSelectionConfig(n_min=2, n_max=4)
+        assert compute_k(5, config) == 2
+        assert compute_k(10_000, config) == 4
+
+    def test_never_exceeds_buffer(self):
+        assert compute_k(2) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_k(0)
+        with pytest.raises(ValueError):
+            KSelectionConfig(base_buffer=0)
+        with pytest.raises(ValueError):
+            KSelectionConfig(n_min=5, n_max=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 10_000))
+    def test_always_within_bounds(self, buffer_size):
+        config = KSelectionConfig()
+        k = compute_k(buffer_size, config)
+        assert 1 <= k <= min(config.n_max, buffer_size)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = RNG.normal(size=5)
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, truth = blobs(k=3, seed=1)
+        labels, centroids = kmeans(points, 3, seed=0)
+        # Same-blob points share a cluster label.
+        for blob_id in range(3):
+            blob_labels = labels[truth == blob_id]
+            assert len(set(blob_labels.tolist())) == 1
+        assert centroids.shape == (3, 8)
+
+    def test_k_validation(self):
+        points = RNG.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 6)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 1)
+
+    def test_deterministic_for_seed(self):
+        points, _ = blobs(seed=2)
+        a, _ = kmeans(points, 3, seed=7)
+        b, _ = kmeans(points, 3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_equals_n(self):
+        points = RNG.normal(size=(4, 3))
+        labels, _ = kmeans(points, 4, seed=0)
+        assert len(set(labels.tolist())) == 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_every_point_gets_nearest_centroid(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(12, 3))
+        labels, centroids = kmeans(points, 3, seed=seed)
+        distances = ((points[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(labels, distances.argmin(axis=1))
+
+
+class TestSelectRepresentatives:
+    def test_one_per_cluster(self):
+        points, _ = blobs(k=3, seed=3)
+        result = select_representatives(points, k=3, seed=0)
+        assert result.k == 3
+        assert len(set(result.representative_indices)) == 3
+
+    def test_representative_is_most_central(self):
+        points, truth = blobs(k=2, per=8, seed=4)
+        result = select_representatives(points, k=2, seed=0)
+        for rep in result.representative_indices:
+            cluster = result.labels[rep]
+            members = np.flatnonzero(result.labels == cluster)
+            centroid = result.centroids[cluster]
+            rep_sim = cosine_similarity(points[rep], centroid)
+            for member in members:
+                assert rep_sim >= cosine_similarity(points[member],
+                                                    centroid) - 1e-9
+
+    def test_adaptive_k_from_buffer_size(self):
+        points, _ = blobs(k=5, per=5, seed=5)  # 25 points -> k = 3
+        result = select_representatives(points, seed=0)
+        assert result.k == 3
+
+    def test_remainder_partition(self):
+        points, _ = blobs(k=2, per=6, seed=6)
+        result = select_representatives(points, k=2, seed=0)
+        remainder = result.remainder_indices()
+        assert set(remainder) | set(result.representative_indices) == set(
+            range(12))
+        assert not set(remainder) & set(result.representative_indices)

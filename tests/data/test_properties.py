@@ -1,0 +1,81 @@
+"""Property-based tests over the synthetic LaMP population."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import available_datasets, build_tokenizer, make_dataset, make_user
+from repro.data import vocabulary as V
+
+TOKENIZER = build_tokenizer()
+DATASET_NAMES = st.sampled_from(available_datasets())
+USER_IDS = st.integers(0, 150)
+
+
+@settings(max_examples=40, deadline=None)
+@given(DATASET_NAMES, USER_IDS, st.integers(0, 50))
+def test_all_sample_text_tokenizes_without_unk(name, user_id, seed):
+    """Every generated word is in the closed vocabulary."""
+    dataset = make_dataset(name)
+    user = make_user(user_id, seed=0)
+    for sample in dataset.generate(user, 4, seed=seed):
+        for ids in (TOKENIZER.encode(sample.input_text),
+                    TOKENIZER.encode(sample.target_text)):
+            assert TOKENIZER.unk_id not in ids
+            assert ids.size > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(DATASET_NAMES, USER_IDS)
+def test_samples_stay_in_declared_domains(name, user_id):
+    dataset = make_dataset(name)
+    user = make_user(user_id, seed=0)
+    domains = set(dataset.user_domains(user))
+    for sample in dataset.generate(user, 6, seed=1):
+        assert sample.domain in domains
+        assert sample.user_id == user.user_id
+
+
+@settings(max_examples=30, deadline=None)
+@given(USER_IDS, st.integers(0, 20))
+def test_lamp2_same_description_different_users_may_disagree(user_id, seed):
+    """Labels are user-conditional: always a preferred topic of *that* user."""
+    dataset = make_dataset("LaMP-2")
+    user = make_user(user_id, seed=0)
+    for sample in dataset.generate(user, 5, seed=seed):
+        assert sample.target_text in user.preferred_topics
+        # The distractor topic's words appear but never win.
+        words = sample.input_text.split()
+        topics_present = {V.topic_of_content_word(w) for w in words
+                          if V.topic_of_content_word(w)}
+        assert sample.target_text in topics_present
+
+
+@settings(max_examples=30, deadline=None)
+@given(USER_IDS, st.integers(0, 20))
+def test_lamp3_ratings_consistent_with_bias(user_id, seed):
+    dataset = make_dataset("LaMP-3")
+    user = make_user(user_id, seed=0)
+    for sample in dataset.generate(user, 6, seed=seed):
+        rating = int(sample.target_text)
+        topic, _, valence = sample.domain.partition("+")
+        expected = int(np.clip(3 + int(valence) + user.rating_bias, 1, 5))
+        assert rating == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(USER_IDS)
+def test_population_statistics(user_id):
+    """Profiles are valid across the whole simulated population."""
+    user = make_user(user_id, seed=0)
+    assert len(set(user.preferred_topics)) == 3
+    assert all(t in V.TOPICS for t in user.preferred_topics)
+    assert all(w in V.STYLE_WORDS for w in user.style_words)
+
+
+@settings(max_examples=25, deadline=None)
+@given(DATASET_NAMES, st.integers(0, 30), st.integers(1, 12))
+def test_generate_returns_requested_count(name, user_id, count):
+    dataset = make_dataset(name)
+    samples = dataset.generate(make_user(user_id, seed=0), count, seed=0)
+    assert len(samples) == count

@@ -1,0 +1,75 @@
+"""Tests for accuracy and ROUGE-1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import classification_accuracy, rouge1, score_output
+
+WORDS = st.lists(st.sampled_from("a b c d e f".split()), min_size=1,
+                 max_size=8).map(" ".join)
+
+
+class TestRouge1:
+    def test_identical_texts(self):
+        score = rouge1("the robot moved", "the robot moved")
+        assert score.precision == score.recall == score.f1 == 1.0
+
+    def test_no_overlap(self):
+        score = rouge1("alpha beta", "gamma delta")
+        assert score.f1 == 0.0
+
+    def test_known_value(self):
+        # candidate: 3 tokens, reference: 4 tokens, overlap 2.
+        score = rouge1("a b x", "a b c d")
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(2 * (2/3) * 0.5 / (2/3 + 0.5))
+
+    def test_duplicate_tokens_clipped(self):
+        score = rouge1("a a a", "a b")
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_empty_candidate_or_reference(self):
+        assert rouge1("", "a b").f1 == 0.0
+        assert rouge1("a b", "").f1 == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(WORDS, WORDS)
+    def test_bounds_and_symmetric_f1(self, a, b):
+        score = rouge1(a, b)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.f1 <= 1.0
+        # F1 is symmetric even though P/R swap.
+        assert score.f1 == pytest.approx(rouge1(b, a).f1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(WORDS)
+    def test_self_similarity_is_one(self, text):
+        assert rouge1(text, text).f1 == pytest.approx(1.0)
+
+
+class TestAccuracy:
+    def test_first_word_match(self):
+        assert classification_accuracy("drama and more", "drama") == 1.0
+
+    def test_mismatch(self):
+        assert classification_accuracy("comedy", "drama") == 0.0
+
+    def test_empty_prediction(self):
+        assert classification_accuracy("", "drama") == 0.0
+
+    def test_whitespace_label(self):
+        assert classification_accuracy("drama", " drama ") == 1.0
+
+
+class TestScoreOutput:
+    def test_dispatch(self):
+        assert score_output("accuracy", "x", "x") == 1.0
+        assert score_output("rouge1", "a b", "a b") == 1.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            score_output("bleu", "a", "b")

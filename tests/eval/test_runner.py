@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (protocol, specs, caching)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameworkConfig
+from repro.eval.runner import (
+    ExperimentContext,
+    MethodSpec,
+    TABLE1_METHODS,
+    evaluate_artifact,
+)
+from repro.tuning import PromptArtifact, TuningConfig, VirtualTokens
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=0, corpus_sentences=800, n_queries=5)
+
+
+class TestMethodSpec:
+    def test_apply_overrides_axes(self):
+        base = FrameworkConfig()
+        spec = MethodSpec("X", noise_aware=False, mitigation="swv",
+                          retrieval="mips")
+        config = spec.apply(base)
+        assert not config.noise_aware
+        assert config.mitigation == "swv"
+        assert config.retrieval == "mips"
+        # Other settings untouched.
+        assert config.buffer_capacity == base.buffer_capacity
+
+    def test_table1_axes_cover_component_isolation(self):
+        by_name = {m.name: m for m in TABLE1_METHODS}
+        nvcim = by_name["NVCiM-PT"]
+        nvp = by_name["NVP*(MIPS)"]
+        nomiti = by_name["No-Miti(MIPS)"]
+        # NVP* isolates SSA (same NT, different retrieval).
+        assert nvcim.noise_aware == nvp.noise_aware
+        assert nvcim.retrieval != nvp.retrieval
+        # No-Miti isolates NT (same retrieval as NVP*).
+        assert nvp.retrieval == nomiti.retrieval
+        assert nvp.noise_aware != nomiti.noise_aware
+
+    def test_mitigation_rows_use_ssa(self):
+        for m in TABLE1_METHODS[:3]:
+            assert m.retrieval == "ssa"
+            assert not m.noise_aware
+
+
+class TestExperimentContext:
+    def test_models_are_memoised(self, ctx):
+        assert ctx.model("gemma-2b-sim") is ctx.model("gemma-2b-sim")
+
+    def test_generation_config_paper_settings(self, ctx):
+        config = ctx.generation_config()
+        assert config.temperature == 0.1
+        assert config.eos_id == ctx.tokenizer.eos_id
+
+    def test_user_task_deterministic(self, ctx):
+        a = ctx.user_task("LaMP-2", 0, 10)
+        b = ctx.user_task("LaMP-2", 0, 10)
+        assert [s.input_text for s in a.training_stream] == \
+               [s.input_text for s in b.training_stream]
+        assert [q.input_text for q in a.queries] == \
+               [q.input_text for q in b.queries]
+
+    def test_stream_sessions_are_single_domain(self, ctx):
+        task = ctx.user_task("LaMP-5", 2, 8)
+        domains = task.dataset.user_domains(task.user)
+        for i, domain in enumerate(domains):
+            session = task.training_stream[i * 8:(i + 1) * 8]
+            assert {s.domain for s in session} == {domain}
+
+    def test_queries_count_respected(self, ctx):
+        assert len(ctx.user_task("LaMP-1", 0, 10).queries) == 5
+
+
+class TestEvaluateArtifact:
+    def test_zero_shot_scores_in_unit_interval(self, ctx):
+        task = ctx.user_task("LaMP-2", 0, 10)
+        score = evaluate_artifact(ctx, "gemma-2b-sim", None, task.queries,
+                                  "accuracy")
+        assert 0.0 <= score <= 1.0
+
+    def test_artifact_changes_score_inputs(self, ctx):
+        task = ctx.user_task("LaMP-2", 0, 10)
+        model = ctx.model("gemma-2b-sim")
+        strong = PromptArtifact(soft_prompt=VirtualTokens(
+            np.random.default_rng(1).normal(
+                0, 4.0, (8, model.config.d_model))))
+        # A destructive random prompt should not *beat* sane zero-shot
+        # often; mainly we assert the artifact path runs and scores.
+        score = evaluate_artifact(ctx, "gemma-2b-sim", strong, task.queries,
+                                  "accuracy")
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,187 @@
+"""Tests for generation, pretraining, quantization and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    GenerationConfig,
+    MODEL_REGISTRY,
+    PretrainConfig,
+    TinyCausalLM,
+    available_models,
+    build_model,
+    clear_model_cache,
+    generate,
+    load_pretrained_model,
+    pretrain_lm,
+    quantization_error,
+    quantize_array,
+    quantize_model_weights,
+)
+from repro.llm.transformer import LMConfig
+
+RNG = np.random.default_rng(5)
+
+
+def tiny_model(vocab=19, seed=0):
+    return TinyCausalLM(LMConfig(vocab_size=vocab, d_model=16, n_heads=2,
+                                 n_layers=2, d_ff=24, max_seq_len=48),
+                        seed=seed)
+
+
+class TestGeneration:
+    def test_respects_max_new_tokens(self):
+        out = generate(tiny_model(), np.array([1, 2]),
+                       GenerationConfig(max_new_tokens=5, temperature=0.0))
+        assert out.size <= 5
+
+    def test_greedy_is_deterministic(self):
+        model = tiny_model()
+        cfg = GenerationConfig(max_new_tokens=6, temperature=0.0)
+        a = generate(model, np.array([1, 2, 3]), cfg)
+        b = generate(model, np.array([1, 2, 3]), cfg)
+        np.testing.assert_array_equal(a, b)
+
+    def test_stops_at_eos(self):
+        model = tiny_model()
+        cfg0 = GenerationConfig(max_new_tokens=1, temperature=0.0)
+        first = generate(model, np.array([1]), cfg0)[0]
+        cfg = GenerationConfig(max_new_tokens=10, temperature=0.0,
+                               eos_id=int(first))
+        out = generate(model, np.array([1]), cfg)
+        assert out.size == 0  # the very first sampled token was EOS
+
+    def test_soft_prompt_changes_output_distribution(self):
+        model = tiny_model()
+        cfg = GenerationConfig(max_new_tokens=8, temperature=0.0)
+        base = generate(model, np.array([1, 2, 3, 4]), cfg)
+        prompt = RNG.normal(0, 2.0, size=(4, 16)).astype(np.float32)
+        prompted = generate(model, np.array([1, 2, 3, 4]), cfg,
+                            soft_prompt=prompt)
+        assert not np.array_equal(base, prompted)
+
+    def test_sequence_budget_respected(self):
+        model = tiny_model()
+        cfg = GenerationConfig(max_new_tokens=100, temperature=0.0)
+        prompt = np.zeros((8, 16), dtype=np.float32)
+        out = generate(model, np.arange(1, 11), cfg, soft_prompt=prompt)
+        assert 10 + out.size <= model.config.max_seq_len - 8
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            generate(tiny_model(), np.array([], dtype=np.int64))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GenerationConfig(max_new_tokens=0)
+        with pytest.raises(ValueError):
+            GenerationConfig(temperature=-1.0)
+
+    def test_training_mode_restored(self):
+        model = tiny_model()
+        model.train()
+        generate(model, np.array([1]), GenerationConfig(max_new_tokens=1))
+        assert model.training
+
+
+class TestPretrain:
+    def test_loss_decreases(self):
+        model = tiny_model()
+        stream = RNG.integers(0, 19, size=2000)
+        # Make the stream learnable: deterministic successor pattern.
+        stream = np.arange(2000) % 19
+        losses = pretrain_lm(model, stream,
+                             PretrainConfig(steps=60, batch_size=4,
+                                            seq_len=16, lr=5e-3, seed=0))
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_short_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            pretrain_lm(tiny_model(), np.arange(5),
+                        PretrainConfig(steps=1, seq_len=16))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(steps=0)
+
+    def test_model_left_in_eval_mode(self):
+        model = tiny_model()
+        pretrain_lm(model, np.arange(200) % 19,
+                    PretrainConfig(steps=2, batch_size=2, seq_len=8))
+        assert not model.training
+
+
+class TestQuantization:
+    def test_values_on_grid(self):
+        w = RNG.normal(size=(32, 8)).astype(np.float32)
+        q = quantize_array(w, bits=4, group_size=16)
+        # Each group's values form at most 16 distinct levels.
+        for start in (0, 16):
+            assert len(np.unique(q[start:start + 16])) <= 16
+
+    def test_error_drops_with_more_bits(self):
+        w = RNG.normal(size=(64, 16)).astype(np.float32)
+        assert quantization_error(w, bits=8) < quantization_error(w, bits=2)
+
+    def test_zero_matrix_stays_zero(self):
+        q = quantize_array(np.zeros((8, 4)), bits=4, group_size=8)
+        np.testing.assert_allclose(q, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros((4, 4)), bits=1)
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros((4, 4)), bits=4, group_size=0)
+        with pytest.raises(ValueError):
+            quantize_array(np.zeros(4), bits=4)
+
+    def test_quantize_model_touches_all_linears(self):
+        model = tiny_model()
+        count = quantize_model_weights(model, bits=4)
+        # 2 layers x (q,k,v,out + 2 mlp) + lm_head = 2*6 + 1
+        assert count == 13
+
+    def test_embeddings_not_quantized(self):
+        model = tiny_model()
+        before = model.token_embedding.weight.data.copy()
+        quantize_model_weights(model, bits=2)
+        np.testing.assert_allclose(model.token_embedding.weight.data, before)
+
+
+class TestRegistry:
+    def test_three_paper_models(self):
+        assert available_models() == ["gemma-2b-sim", "mistral-7b-gptq-sim",
+                                      "phi-2-sim"]
+        papers = {spec.paper_model for spec in MODEL_REGISTRY.values()}
+        assert papers == {"Gemma-2B", "Mistral-7B-GPTQ", "Phi-2"}
+
+    def test_build_model_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("gpt-99", vocab_size=10)
+
+    def test_build_model_architectures_differ(self):
+        a = build_model("gemma-2b-sim", 19)
+        b = build_model("phi-2-sim", 19)
+        assert a.config.d_model != b.config.d_model
+
+    def test_pretrained_cache_returns_equal_weights(self):
+        clear_model_cache()
+        stream = np.arange(3000) % 19
+        cfg = PretrainConfig(steps=5, batch_size=2, seq_len=8)
+        m1 = load_pretrained_model("gemma-2b-sim", stream, 19, pretrain=cfg)
+        m2 = load_pretrained_model("gemma-2b-sim", stream, 19, pretrain=cfg)
+        assert m1 is not m2
+        np.testing.assert_allclose(m1.lm_head.weight.data,
+                                   m2.lm_head.weight.data)
+        clear_model_cache()
+
+    def test_gptq_model_weights_quantized(self):
+        clear_model_cache()
+        stream = np.arange(3000) % 19
+        cfg = PretrainConfig(steps=5, batch_size=2, seq_len=8)
+        model = load_pretrained_model("mistral-7b-gptq-sim", stream, 19,
+                                      pretrain=cfg)
+        w = model.blocks[0].ff1.weight.data
+        # 4-bit grouped weights: few distinct values per group.
+        assert len(np.unique(w[:32])) <= 16 * 1 + 1
+        clear_model_cache()

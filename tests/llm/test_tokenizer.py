@@ -1,0 +1,74 @@
+"""Tests for the word tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.llm.tokenizer import BOS, EOS, PAD, SEP, UNK, Tokenizer
+
+
+@pytest.fixture
+def tok():
+    return Tokenizer(["alpha", "beta", "gamma"])
+
+
+class TestConstruction:
+    def test_specials_reserved_first(self, tok):
+        assert tok.pad_id == 0
+        assert tok.decode([tok.bos_id], skip_special=False) == BOS
+
+    def test_vocab_size_counts_specials(self, tok):
+        assert tok.vocab_size == 5 + 3
+
+    def test_duplicate_words_deduped(self):
+        t = Tokenizer(["a", "b", "a"])
+        assert t.vocab_size == 5 + 2
+
+    def test_special_collision_rejected(self):
+        with pytest.raises(ValueError):
+            Tokenizer(["word", PAD])
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, tok):
+        ids = tok.encode("alpha gamma beta")
+        assert tok.decode(ids) == "alpha gamma beta"
+
+    def test_encode_returns_int64(self, tok):
+        assert tok.encode("alpha").dtype == np.int64
+
+    def test_unknown_word_maps_to_unk(self, tok):
+        ids = tok.encode("alpha zzz")
+        assert ids[1] == tok.unk_id
+
+    def test_bos_eos_flags(self, tok):
+        ids = tok.encode("alpha", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_decode_skips_specials_by_default(self, tok):
+        ids = tok.encode("alpha", add_eos=True)
+        assert tok.decode(ids) == "alpha"
+
+    def test_decode_keeps_specials_on_request(self, tok):
+        ids = tok.encode("alpha", add_eos=True)
+        assert tok.decode(ids, skip_special=False) == f"alpha {EOS}"
+
+    def test_empty_text(self, tok):
+        assert tok.encode("").size == 0
+        assert tok.decode([]) == ""
+
+
+class TestLookup:
+    def test_token_id_roundtrip(self, tok):
+        assert tok.decode([tok.token_id("beta")]) == "beta"
+
+    def test_token_id_unknown_raises(self, tok):
+        with pytest.raises(KeyError):
+            tok.token_id("nope")
+
+    def test_contains(self, tok):
+        assert "alpha" in tok
+        assert "nope" not in tok
+
+    def test_sep_token_exists(self, tok):
+        assert tok.decode([tok.sep_id], skip_special=False) == SEP
+        assert UNK  # exported

@@ -1,0 +1,203 @@
+"""Tests for pooling, WMSDP and the CiM search engines."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import get_device
+from repro.retrieval import (
+    MIPS_CONFIG,
+    SSA_CONFIG,
+    CiMSearchEngine,
+    SearchConfig,
+    avg_pool_rows,
+    multi_scale_vectors,
+    pad_rows,
+    wmsdp_reference,
+)
+
+RNG = np.random.default_rng(31)
+
+
+class TestPooling:
+    def test_pad_extends_with_zeros(self):
+        out = pad_rows(np.ones((3, 4)), 6)
+        assert out.shape == (6, 4)
+        np.testing.assert_allclose(out[3:], 0.0)
+
+    def test_pad_truncates(self):
+        out = pad_rows(np.arange(20).reshape(10, 2), 4)
+        assert out.shape == (4, 2)
+        np.testing.assert_allclose(out[3], [6, 7])
+
+    def test_pad_validation(self):
+        with pytest.raises(ValueError):
+            pad_rows(np.ones(4), 2)
+        with pytest.raises(ValueError):
+            pad_rows(np.ones((2, 2)), 0)
+
+    def test_scale1_identity(self):
+        x = RNG.normal(size=(8, 3)).astype(np.float32)
+        np.testing.assert_allclose(avg_pool_rows(x, 1), x)
+
+    def test_scale2_averages_pairs(self):
+        x = np.array([[1.0], [3.0], [5.0], [7.0]], dtype=np.float32)
+        np.testing.assert_allclose(avg_pool_rows(x, 2), [[2.0], [6.0]])
+
+    def test_indivisible_rows_rejected(self):
+        with pytest.raises(ValueError):
+            avg_pool_rows(np.ones((5, 2)), 2)
+
+    def test_multi_scale_shapes(self):
+        vectors = multi_scale_vectors(RNG.normal(size=(10, 6)), (1, 2, 4), 16)
+        assert vectors[1].shape == (96,)
+        assert vectors[2].shape == (48,)
+        assert vectors[4].shape == (24,)
+
+    def test_pooling_preserves_mean(self):
+        x = RNG.normal(size=(16, 4)).astype(np.float32)
+        np.testing.assert_allclose(avg_pool_rows(x, 4).mean(axis=0),
+                                   x.mean(axis=0), atol=1e-6)
+
+
+class TestSearchConfig:
+    def test_defaults_match_paper(self):
+        assert SSA_CONFIG.scales == (1, 2, 4)
+        assert SSA_CONFIG.weights == (1.0, 0.8, 0.6)
+        assert MIPS_CONFIG.scales == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SearchConfig(scales=(1, 2), weights=(1.0,))
+        with pytest.raises(ValueError):
+            SearchConfig(scales=(3,), weights=(1.0,))  # 16 % 3 != 0
+        with pytest.raises(ValueError):
+            SearchConfig(scales=(1,), weights=(0.0,))
+        with pytest.raises(ValueError):
+            SearchConfig(scales=(), weights=())
+
+
+class TestWMSDPReference:
+    def test_self_similarity_highest(self):
+        mats = [RNG.normal(size=(8, 6)).astype(np.float32) for _ in range(5)]
+        for i, query in enumerate(mats):
+            scores = [wmsdp_reference(query, m) for m in mats]
+            assert int(np.argmax(scores)) == i
+
+    def test_normalized_self_similarity_is_one(self):
+        m = RNG.normal(size=(8, 6)).astype(np.float32)
+        assert wmsdp_reference(m, m) == pytest.approx(1.0, abs=1e-5)
+
+    def test_mips_equals_plain_inner_product(self):
+        config = SearchConfig(scales=(1,), weights=(1.0,),
+                              normalize_scales=False)
+        a = RNG.normal(size=(16, 4)).astype(np.float32)
+        b = RNG.normal(size=(16, 4)).astype(np.float32)
+        expected = float(a.reshape(-1) @ b.reshape(-1))
+        assert wmsdp_reference(a, b, config) == pytest.approx(expected, rel=1e-5)
+
+    def test_weights_influence_score(self):
+        a = RNG.normal(size=(16, 4)).astype(np.float32)
+        b = RNG.normal(size=(16, 4)).astype(np.float32)
+        heavy_coarse = SearchConfig(scales=(1, 4), weights=(0.1, 2.0))
+        heavy_fine = SearchConfig(scales=(1, 4), weights=(2.0, 0.1))
+        assert (wmsdp_reference(a, b, heavy_coarse)
+                != pytest.approx(wmsdp_reference(a, b, heavy_fine)))
+
+
+class TestCiMSearchEngine:
+    def _ovts(self, n=6, rows=8, dim=12):
+        return [RNG.normal(size=(rows, dim)).astype(np.float32)
+                for _ in range(n)]
+
+    def _engine(self, sigma=0.0, config=SSA_CONFIG, on_cim=True, seed=0):
+        return CiMSearchEngine(get_device("NVM-3"), sigma=sigma,
+                               config=config, on_cim=on_cim,
+                               rng=np.random.default_rng(seed))
+
+    def test_retrieves_self_without_noise(self):
+        ovts = self._ovts()
+        engine = self._engine(sigma=0.0)
+        engine.build(ovts)
+        for i, ovt in enumerate(ovts):
+            assert engine.retrieve(ovt) == i
+
+    def test_digital_store_matches_reference(self):
+        ovts = self._ovts(4)
+        engine = self._engine(on_cim=False)
+        engine.build(ovts)
+        query = RNG.normal(size=(10, 12)).astype(np.float32)
+        scores = engine.query(query)
+        expected = [wmsdp_reference(query, o) for o in ovts]
+        np.testing.assert_allclose(scores, expected, rtol=1e-4, atol=1e-5)
+
+    def test_cim_scores_close_to_digital_without_noise(self):
+        ovts = self._ovts(4)
+        on_cim = self._engine(sigma=0.0)
+        on_cim.build(ovts)
+        digital = self._engine(on_cim=False)
+        digital.build(ovts)
+        query = RNG.normal(size=(9, 12)).astype(np.float32)
+        np.testing.assert_allclose(on_cim.query(query), digital.query(query),
+                                   atol=0.02)
+
+    def test_restore_roundtrip_without_noise(self):
+        ovts = self._ovts(3)
+        engine = self._engine(sigma=0.0)
+        engine.build(ovts)
+        restored = engine.restore(1)
+        assert restored.shape == ovts[1].shape
+        np.testing.assert_allclose(restored, ovts[1], atol=0.02)
+
+    def test_restore_noise_grows_with_sigma(self):
+        ovts = self._ovts(3)
+        errors = []
+        for sigma in (0.02, 0.2):
+            engine = self._engine(sigma=sigma, seed=5)
+            engine.build(ovts)
+            errors.append(np.abs(engine.restore(0) - ovts[0]).mean())
+        assert errors[0] < errors[1]
+
+    def test_ssa_more_noise_robust_than_mips(self):
+        """The paper's core retrieval claim, as a statistical property."""
+        ovts = [RNG.normal(size=(8, 12)).astype(np.float32) for _ in range(8)]
+        hits = {"ssa": 0, "mips": 0}
+        for trial in range(12):
+            for name, config in (("ssa", SSA_CONFIG), ("mips", MIPS_CONFIG)):
+                engine = CiMSearchEngine(get_device("NVM-3"), sigma=0.3,
+                                         config=config,
+                                         rng=np.random.default_rng(trial))
+                engine.build(ovts)
+                # Query = noisy version of a stored OVT.
+                probe_rng = np.random.default_rng(100 + trial)
+                target = trial % len(ovts)
+                query = ovts[target] + probe_rng.normal(
+                    0, 0.4, ovts[target].shape).astype(np.float32)
+                hits[name] += engine.retrieve(query) == target
+        assert hits["ssa"] >= hits["mips"]
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            self._engine().build([])
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            self._engine().query(np.zeros((4, 12)))
+
+    def test_restore_index_checked(self):
+        engine = self._engine(sigma=0.0)
+        engine.build(self._ovts(2))
+        with pytest.raises(IndexError):
+            engine.restore(5)
+
+    def test_subarray_count_positive_on_cim(self):
+        engine = self._engine()
+        engine.build(self._ovts(4))
+        assert engine.subarray_count() > 0
+
+    def test_rebuild_replaces_store(self):
+        engine = self._engine(sigma=0.0)
+        engine.build(self._ovts(4))
+        fresh = self._ovts(2)
+        engine.build(fresh)
+        assert engine.n_stored == 2
+        assert engine.retrieve(fresh[1]) == 1
