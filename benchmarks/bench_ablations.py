@@ -7,8 +7,6 @@
 4. Autoencoder code size (paper: 48) vs smaller/larger encodings.
 """
 
-from dataclasses import replace
-
 import numpy as np
 
 from repro.core import (
@@ -75,7 +73,7 @@ def test_ablation_k_selection(benchmark):
         for name, k_config in variants.items():
             config = default_config()
             if k_config is not None:
-                config = replace(config, k_selection=k_config)
+                config = config.replace(k_selection=k_config)
             out[name] = _score_config(context, config)
         return out
 

@@ -37,8 +37,7 @@ def test_table1_main_grid(benchmark):
                 for dataset in DATASETS:
                     for method in TABLE1_METHODS:
                         key = (model_name, device, dataset, method.name)
-                        from dataclasses import replace
-                        cell_config = replace(config, device_name=device)
+                        cell_config = config.replace(device_name=device)
                         grid[key] = evaluate_method(
                             context, model_name, dataset, method,
                             cell_config, user_ids=USER_IDS)

@@ -31,10 +31,10 @@ def shared_context() -> ExperimentContext:
 
 
 def default_config(**overrides) -> FrameworkConfig:
-    defaults = dict(buffer_capacity=25, device_name="NVM-3", sigma=0.1,
-                    tuning=TuningConfig(), seed=0)
-    defaults.update(overrides)
-    return FrameworkConfig(**defaults)
+    """The paper's main configuration (Table I cell) with overrides."""
+    overrides.setdefault("tuning", TuningConfig())
+    overrides.setdefault("seed", 0)
+    return FrameworkConfig.preset("table1", **overrides)
 
 
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:

@@ -14,13 +14,15 @@ import numpy as np
 from repro import (
     FrameworkConfig,
     GenerationConfig,
+    PromptServeEngine,
+    QueryRequest,
+    TuneRequest,
     build_corpus,
     build_tokenizer,
     load_pretrained_model,
     make_dataset,
     make_user,
 )
-from repro.core import NVCiMDeployment, OVTTrainingPipeline
 from repro.eval import score_output
 from repro.tuning import TuningConfig, VanillaPromptTuner, generate_with_artifact
 
@@ -36,6 +38,10 @@ def main() -> None:
     generation = GenerationConfig(max_new_tokens=8, temperature=0.1,
                                   eos_id=tokenizer.eos_id)
 
+    # One engine serves both users' personal OVT libraries over the one
+    # shared frozen base model.
+    engine = PromptServeEngine(model, tokenizer, config)
+
     for user_id in (3, 7):
         user = make_user(user_id, seed=0)
         domains = dataset.user_domains(user)
@@ -44,29 +50,28 @@ def main() -> None:
 
         # Domain-shifted sessions; keep the last session for the one4all
         # baseline.
-        pipeline = OVTTrainingPipeline(model, tokenizer, config)
         last_session = []
         for domain in domains:
             last_session = dataset.generate(user, config.buffer_capacity,
                                             seed=user_id, domains=[domain])
-            for sample in last_session:
-                pipeline.observe(sample)
+            engine.submit(TuneRequest(user_id=user_id,
+                                      samples=tuple(last_session)))
 
         one4all = VanillaPromptTuner(model, tokenizer,
                                      TuningConfig()).fit(last_session)
-        deployment = NVCiMDeployment(model, tokenizer, pipeline.library,
-                                     config)
 
         queries = dataset.generate(user, 9, seed=500 + user_id)
+        responses = engine.answer_batch(
+            [QueryRequest(user_id=user_id, text=q.input_text,
+                          generation=generation) for q in queries])
         scores = {"one4all (latest buffer)": [], "NVCiM-PT": []}
-        for query in queries:
+        for query, response in zip(queries, responses):
             baseline = generate_with_artifact(model, tokenizer, one4all,
                                               query.input_text, generation)
-            ours = deployment.answer(query.input_text, generation)
             scores["one4all (latest buffer)"].append(
                 score_output("accuracy", baseline, query.target_text))
             scores["NVCiM-PT"].append(
-                score_output("accuracy", ours, query.target_text))
+                score_output("accuracy", response.answer, query.target_text))
         for name, values in scores.items():
             print(f"  {name:24s}: accuracy {np.mean(values):.2f}")
 

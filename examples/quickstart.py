@@ -1,8 +1,10 @@
 """Quickstart: personalise an edge LLM with NVCiM-PT in ~a minute.
 
 Builds the synthetic world (tokenizer, corpus), pretrains a small edge-LLM
-stand-in, streams one user's interactions through the framework, and then
-answers fresh queries with NVM-retrieved OVT prompts.
+stand-in, then drives the serving engine: one user's interactions stream in
+as TuneRequests, and fresh queries come back as QueryResponses whose
+telemetry shows the NVM-side retrieval (selected OVT, similarity scores,
+latency/energy of the in-memory search).
 
 Run:  python examples/quickstart.py
 """
@@ -10,13 +12,17 @@ Run:  python examples/quickstart.py
 from repro import (
     FrameworkConfig,
     GenerationConfig,
-    NVCiMPT,
+    PromptServeEngine,
+    QueryRequest,
+    TuneRequest,
     build_corpus,
     build_tokenizer,
     load_pretrained_model,
     make_dataset,
     make_user,
 )
+
+USER_ID = 0
 
 
 def main() -> None:
@@ -27,35 +33,39 @@ def main() -> None:
     model = load_pretrained_model("phi-2-sim", corpus, tokenizer.vocab_size,
                                   seed=0)
 
-    # 2. The framework: buffer -> representative selection -> noise-aware
-    #    prompt tuning -> autoencoder -> NVM storage.
-    config = FrameworkConfig(buffer_capacity=25, device_name="NVM-3",
-                             sigma=0.1)
-    system = NVCiMPT(model, tokenizer, config)
+    # 2. The serving engine: shared base model + per-user OVT libraries on
+    #    NVM.  The "table1" preset is the paper's main configuration.
+    config = FrameworkConfig.preset("table1")
+    engine = PromptServeEngine(model, tokenizer, config)
 
     # 3. Stream one user's interactions (domain-shifted sessions).
-    user = make_user(0, seed=0)
+    user = make_user(USER_ID, seed=0)
     dataset = make_dataset("LaMP-2")
-    print(f"user 0 prefers topics: {', '.join(user.preferred_topics)}")
+    print(f"user {USER_ID} prefers topics: {', '.join(user.preferred_topics)}")
     for domain in dataset.user_domains(user):
-        session = dataset.generate(user, config.buffer_capacity, seed=1,
-                                   domains=[domain])
-        for sample in session:
-            system.observe(sample)
+        session_data = dataset.generate(user, config.buffer_capacity, seed=1,
+                                        domains=[domain])
+        response = engine.submit(TuneRequest(user_id=USER_ID,
+                                             samples=tuple(session_data)))
         print(f"  session on domain {domain!r}: "
-              f"{len(system.library.ovts)} OVTs stored so far")
+              f"{response.library_size} OVTs stored so far")
 
-    # 4. Inference: retrieval happens in-memory on the NVCiM crossbars.
+    # 4. Inference: retrieval happens in-memory on the NVCiM crossbars, and
+    #    every response reports what the hardware did.
     generation = GenerationConfig(max_new_tokens=10, temperature=0.1,
                                   eos_id=tokenizer.eos_id)
     queries = dataset.generate(user, 5, seed=99)
+    requests = [QueryRequest(user_id=USER_ID, text=q.input_text,
+                             generation=generation) for q in queries]
     correct = 0
-    for query in queries:
-        answer = system.answer(query.input_text, generation)
-        hit = answer.split()[:1] == [query.target_text]
+    for query, response in zip(queries, engine.answer_batch(requests)):
+        hit = response.answer.split()[:1] == [query.target_text]
         correct += hit
-        print(f"  Q: {query.input_text}\n     -> {answer!r} "
-              f"(expected {query.target_text!r}) {'OK' if hit else ''}")
+        print(f"  Q: {response.text}\n     -> {response.answer!r} "
+              f"(expected {query.target_text!r}) {'OK' if hit else ''}\n"
+              f"     [OVT #{response.ovt_index} of {response.n_ovts}, "
+              f"{response.backend} search: {response.latency_us:.2f} us, "
+              f"{response.energy_pj / 1e3:.1f} nJ]")
     print(f"accuracy: {correct}/{len(queries)}")
 
 

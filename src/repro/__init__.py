@@ -1,9 +1,29 @@
 """NVCiM-PT: an NVCiM-assisted prompt tuning framework for edge LLMs.
 
-Reproduction of Qin et al., DATE 2025 (arXiv:2411.08244).  The public API
-re-exports the pieces a downstream user needs: the framework itself
-(:class:`~repro.core.NVCiMPT`), the model/dataset/device zoos, the prompt
-tuning methods and the cost models.
+Reproduction of Qin et al., DATE 2025 (arXiv:2411.08244), grown into a
+multi-user serving system.  The public API has two levels:
+
+**Serving layer** (:mod:`repro.serve`) — the primary surface.  A
+:class:`PromptServeEngine` owns one shared frozen base model and a bounded
+LRU cache of per-user sessions, each holding that user's OVT library and
+its lazily reprogrammed NVM deployment.  Training data arrives as
+:class:`TuneRequest`s, queries as :class:`QueryRequest`s (singly or in
+batches via ``submit_batch`` / ``answer_batch``), and every
+:class:`QueryResponse` carries retrieval telemetry: the selected OVT, the
+per-OVT similarity scores, and analytic CiM latency/energy estimates.
+:class:`NVCiMPT` remains as the single-user facade over the same engine.
+
+**Building blocks** — the framework pieces the engine composes:
+:class:`OVTTrainingPipeline` / :class:`NVCiMDeployment`, the
+model/dataset/device zoos, prompt-tuning methods and cost models.
+
+Every pluggable axis is a string-keyed registry
+(:class:`repro.utils.Registry`): models (``register_model``), NVM devices
+(``register_device``), noise mitigations (``register_mitigation``) and
+retrieval strategies (``register_retrieval``).  Configurations are plain
+data: :meth:`FrameworkConfig.to_dict` / :meth:`FrameworkConfig.from_dict`
+round-trip through JSON, and :meth:`FrameworkConfig.preset` names the
+paper's experiment settings (``"table1"``, ``"table4"``, ...).
 """
 
 from .core import (
@@ -30,18 +50,39 @@ from .llm import (
     build_model,
     generate,
     load_pretrained_model,
+    register_model,
 )
-from .nvm import available_devices, get_device
+from .mitigation import available_mitigations, register_mitigation
+from .nvm import available_devices, get_device, register_device
+from .retrieval import available_retrievals, register_retrieval
+from .serve import (
+    PromptServeEngine,
+    QueryRequest,
+    QueryResponse,
+    TuneRequest,
+    TuneResponse,
+    UserSession,
+)
+from .utils import Registry
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    # Serving layer
+    "PromptServeEngine", "UserSession",
+    "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
+    # Framework
     "NVCiMPT", "FrameworkConfig", "OVTLibrary", "OVTTrainingPipeline",
     "NVCiMDeployment", "NoiseAwareTrainer", "NoiseInjectionConfig",
+    # Data
     "build_tokenizer", "build_corpus", "make_dataset", "available_datasets",
     "make_user", "make_users", "DataBuffer",
+    # Models and generation
     "build_model", "load_pretrained_model", "available_models",
-    "generate", "GenerationConfig",
-    "get_device", "available_devices",
+    "register_model", "generate", "GenerationConfig",
+    # Registries
+    "Registry", "get_device", "available_devices", "register_device",
+    "available_mitigations", "register_mitigation",
+    "available_retrievals", "register_retrieval",
     "__version__",
 ]

@@ -17,7 +17,8 @@ Two phases, mirroring the paper's training and inference modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import dataclasses
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -27,9 +28,9 @@ from ..data.lamp import Sample
 from ..llm.generation import GenerationConfig, generate
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
-from ..mitigation import make_mitigation
+from ..mitigation import MITIGATION_REGISTRY, make_mitigation
 from ..nvm.device_models import get_device
-from ..retrieval import MIPS_CONFIG, SSA_CONFIG, CiMSearchEngine, SearchConfig
+from ..retrieval import RETRIEVAL_REGISTRY, CiMSearchEngine, SearchConfig
 from ..tuning import TuningConfig, VanillaPromptTuner, VirtualTokens
 from ..utils import derive_rng
 from .noise_training import NoiseAwareTrainer, NoiseInjectionConfig
@@ -37,6 +38,40 @@ from .selection import KSelectionConfig, select_representatives
 
 __all__ = ["FrameworkConfig", "OVTLibrary", "OVTTrainingPipeline",
            "NVCiMDeployment", "NVCiMPT"]
+
+
+# Named configurations (JSON-style dicts, resolved by ``from_dict``) for the
+# paper's experiment settings plus common development variants.
+_PRESETS: dict[str, dict] = {
+    # Paper main grid: buffer 25, FeFET3, sigma 0.1, SSA + noise-aware PT.
+    "table1": {"buffer_capacity": 25, "device_name": "NVM-3", "sigma": 0.1,
+               "retrieval": "ssa", "mitigation": "none", "noise_aware": True},
+    # Buffer-size sweep base (Table III): same cell, buffer overridden per run.
+    "table3": {"buffer_capacity": 25, "device_name": "NVM-3", "sigma": 0.1,
+               "retrieval": "ssa", "noise_aware": True},
+    # Device-variation sweep base (Table IV): sigma overridden per run.
+    "table4": {"buffer_capacity": 25, "device_name": "NVM-3", "sigma": 0.1,
+               "retrieval": "ssa", "noise_aware": True},
+    # The paper's NVP*(MIPS) ablation: plain max-inner-product retrieval.
+    "mips-baseline": {"buffer_capacity": 25, "device_name": "NVM-3",
+                      "sigma": 0.1, "retrieval": "mips"},
+    # Ideal digital store: no CiM noise anywhere in the retrieval path.
+    "digital": {"buffer_capacity": 25, "device_name": "NVM-3", "sigma": 0.1,
+                "on_cim": False},
+    # Small-scale smoke configuration for demos and tests.
+    "fast": {"buffer_capacity": 10, "device_name": "NVM-3", "sigma": 0.1,
+             "tuning": {"steps": 6, "lr": 0.05}},
+}
+
+
+def _plain(value):
+    """Recursively convert dataclasses/tuples to JSON-style dicts/lists."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _plain(getattr(value, f.name))
+                for f in fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -60,18 +95,82 @@ class FrameworkConfig:
     def __post_init__(self):
         if self.buffer_capacity <= 0:
             raise ValueError("buffer_capacity must be positive")
-        if self.retrieval not in ("ssa", "mips"):
-            raise ValueError("retrieval must be 'ssa' or 'mips'")
+        if self.retrieval not in RETRIEVAL_REGISTRY:
+            raise ValueError(
+                f"retrieval must be one of {RETRIEVAL_REGISTRY.names()}, "
+                f"got {self.retrieval!r}")
+        if self.mitigation not in MITIGATION_REGISTRY:
+            raise ValueError(
+                f"mitigation must be one of {MITIGATION_REGISTRY.names()}, "
+                f"got {self.mitigation!r}")
 
     def search_config(self) -> SearchConfig:
         if self.search is not None:
             return self.search
-        return SSA_CONFIG if self.retrieval == "ssa" else MIPS_CONFIG
+        return RETRIEVAL_REGISTRY[self.retrieval]
 
     def noise_config(self) -> NoiseInjectionConfig:
         f1, f2, f3, f4 = self.noise_factors
         return NoiseInjectionConfig(sigma=self.sigma, f1=f1, f2=f2, f3=f3,
                                     f4=f4, seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Serialization and presets (the serve layer's config surface).
+    # ------------------------------------------------------------------
+    def replace(self, **overrides) -> FrameworkConfig:
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FrameworkConfig:
+        """Build a config from a (possibly nested) plain dict.
+
+        Nested sections (``tuning``, ``k_selection``, ``search``) may be
+        given as dicts of their dataclass fields; omitted keys take the
+        defaults.  Unknown keys are an error rather than silently dropped.
+        """
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FrameworkConfig keys: {sorted(unknown)}")
+        if isinstance(data.get("tuning"), dict):
+            data["tuning"] = TuningConfig(**data["tuning"])
+        if isinstance(data.get("k_selection"), dict):
+            data["k_selection"] = KSelectionConfig(**data["k_selection"])
+        if isinstance(data.get("search"), dict):
+            search = dict(data["search"])
+            for key in ("scales", "weights"):
+                if key in search:
+                    search[key] = tuple(search[key])
+            data["search"] = SearchConfig(**search)
+        if "noise_factors" in data:
+            data["noise_factors"] = tuple(data["noise_factors"])
+        return cls(**data)
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> FrameworkConfig:
+        """A named experiment configuration, e.g. ``preset("table1")``.
+
+        Keyword overrides are applied on top of the preset, so
+        ``preset("table1", device_name="NVM-5")`` is one Table I cell.
+        """
+        try:
+            base = dict(_PRESETS[name])
+        except KeyError:
+            raise KeyError(f"unknown preset {name!r}; "
+                           f"available: {cls.available_presets()}") from None
+        base.update(overrides)
+        return cls.from_dict(base)
+
+    @classmethod
+    def available_presets(cls) -> list[str]:
+        """Names accepted by :meth:`preset`."""
+        return sorted(_PRESETS)
 
 
 @dataclass
@@ -105,7 +204,8 @@ class OVTTrainingPipeline:
     """Training mode: stream -> buffer -> RS -> (noise-aware) PT -> library."""
 
     def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
-                 config: FrameworkConfig = FrameworkConfig()):
+                 config: FrameworkConfig | None = None):
+        config = config if config is not None else FrameworkConfig()
         self.model = model
         self.tokenizer = tokenizer
         self.config = config
@@ -179,7 +279,8 @@ class NVCiMDeployment:
 
     def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
                  library: OVTLibrary,
-                 config: FrameworkConfig = FrameworkConfig()):
+                 config: FrameworkConfig | None = None):
+        config = config if config is not None else FrameworkConfig()
         if not library.ovts:
             raise ValueError("cannot deploy an empty OVT library")
         if not library.autoencoder.is_trained:
@@ -238,33 +339,44 @@ class NVCiMDeployment:
 
 
 class NVCiMPT:
-    """Facade: continuous learning plus NVM-backed inference."""
+    """Facade: continuous learning plus NVM-backed inference.
+
+    Since the serving redesign this is a thin single-user wrapper over
+    :class:`repro.serve.PromptServeEngine` — the engine generalises the
+    same observe/answer loop to many users; this class keeps the original
+    one-user API (and its exact behavior) for existing callers.
+    """
+
+    _FACADE_USER = 0
 
     def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
-                 config: FrameworkConfig = FrameworkConfig()):
+                 config: FrameworkConfig | None = None):
+        from ..serve.engine import PromptServeEngine  # circular at import time
         self.model = model
         self.tokenizer = tokenizer
-        self.config = config
-        self.pipeline = OVTTrainingPipeline(model, tokenizer, config)
-        self._deployment: NVCiMDeployment | None = None
+        self.config = config if config is not None else FrameworkConfig()
+        self.engine = PromptServeEngine(model, tokenizer, self.config,
+                                        max_sessions=1)
+        self._session = self.engine.session(self._FACADE_USER)
+
+    @property
+    def pipeline(self) -> OVTTrainingPipeline:
+        return self._session.pipeline
 
     @property
     def library(self) -> OVTLibrary:
-        return self.pipeline.library
+        return self._session.library
+
+    @property
+    def _deployment(self) -> NVCiMDeployment | None:
+        # Legacy introspection point: None whenever the crossbars are stale.
+        return self._session._deployment
 
     def observe(self, sample: Sample) -> None:
         """Training mode: absorb one user interaction."""
-        if self.pipeline.observe(sample):
-            self._deployment = None  # library changed; reprogram lazily
+        self._session.observe(sample)
 
     def answer(self, input_text: str,
                generation: GenerationConfig | None = None) -> str:
         """Inference mode: answer with the best stored OVT."""
-        if not self.library.ovts:
-            raise RuntimeError(
-                "no OVTs trained yet; feed more samples via observe()"
-            )
-        if self._deployment is None:
-            self._deployment = NVCiMDeployment(self.model, self.tokenizer,
-                                               self.library, self.config)
-        return self._deployment.answer(input_text, generation)
+        return self._session.answer(input_text, generation)

@@ -20,7 +20,6 @@ import numpy as np
 
 from ..core.framework import (
     FrameworkConfig,
-    NVCiMDeployment,
     OVTLibrary,
     OVTTrainingPipeline,
 )
@@ -31,6 +30,7 @@ from ..llm.generation import GenerationConfig
 from ..llm.registry import load_pretrained_model
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
+from ..serve import PromptServeEngine, QueryRequest
 from ..tuning import PromptArtifact, generate_with_artifact
 from .metrics import score_output
 
@@ -160,19 +160,30 @@ def evaluate_method(
     *,
     user_ids: tuple[int, ...] = (0, 1, 2),
 ) -> float:
-    """Mean score of ``method`` over the given users (one table cell)."""
+    """Mean score of ``method`` over the given users (one table cell).
+
+    Evaluation runs through the serving layer: one engine per cell, each
+    user's memoised library loaded into a session and the cell's queries
+    served as one batch (so per-user crossbar programming is amortised).
+    """
     base = method.apply(config)
-    scores: list[float] = []
+    engine = PromptServeEngine(context.model(model_name), context.tokenizer,
+                               base, max_sessions=max(len(user_ids), 1))
+    generation = context.generation_config()
+    requests: list[QueryRequest] = []
+    expected: list[tuple[str, str]] = []   # (metric, target) per request
     for user_id in user_ids:
         task = context.user_task(dataset_name, user_id, base.buffer_capacity)
-        library = context.library(model_name, dataset_name, user_id, base)
-        deployment = NVCiMDeployment(context.model(model_name),
-                                     context.tokenizer, library, base)
-        generation = context.generation_config()
+        engine.load_session(
+            user_id, context.library(model_name, dataset_name, user_id, base))
         for query in task.queries:
-            prediction = deployment.answer(query.input_text, generation)
-            scores.append(score_output(task.dataset.metric, prediction,
-                                       query.target_text))
+            requests.append(QueryRequest(user_id=user_id,
+                                         text=query.input_text,
+                                         generation=generation))
+            expected.append((task.dataset.metric, query.target_text))
+    responses = engine.answer_batch(requests)
+    scores = [score_output(metric, response.answer, target)
+              for response, (metric, target) in zip(responses, expected)]
     return float(np.mean(scores))
 
 

@@ -11,6 +11,7 @@ from .registry import (
     build_model,
     clear_model_cache,
     load_pretrained_model,
+    register_model,
 )
 from .tokenizer import BOS, EOS, PAD, SEP, UNK, Tokenizer
 from .transformer import LMConfig, TinyCausalLM, TransformerBlock
@@ -24,4 +25,5 @@ __all__ = [
     "quantize_array", "quantize_model_weights", "quantization_error",
     "EdgeModelSpec", "MODEL_REGISTRY", "available_models",
     "build_model", "load_pretrained_model", "clear_model_cache",
+    "register_model",
 ]

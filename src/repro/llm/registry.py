@@ -12,12 +12,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..utils import Registry
 from .pretrain import PretrainConfig, pretrain_lm
 from .quantization import quantize_model_weights
 from .transformer import LMConfig, TinyCausalLM
 
 __all__ = ["EdgeModelSpec", "MODEL_REGISTRY", "available_models",
-           "build_model", "load_pretrained_model", "clear_model_cache"]
+           "build_model", "load_pretrained_model", "clear_model_cache",
+           "register_model"]
 
 
 @dataclass(frozen=True)
@@ -39,21 +41,36 @@ class EdgeModelSpec:
                         d_ff=self.d_ff, max_seq_len=max_seq_len)
 
 
-MODEL_REGISTRY: dict[str, EdgeModelSpec] = {
-    "gemma-2b-sim": EdgeModelSpec(
+def _validate_model(name: str, spec: EdgeModelSpec) -> None:
+    if not isinstance(spec, EdgeModelSpec):
+        raise TypeError(f"model {name!r} must be an EdgeModelSpec")
+
+
+# Model zoo (a Registry, so new architectures plug in at runtime).
+MODEL_REGISTRY: Registry[EdgeModelSpec] = Registry("model",
+                                                   validate=_validate_model)
+for _spec in (
+    EdgeModelSpec(
         name="gemma-2b-sim", paper_model="Gemma-2B",
         d_model=64, n_heads=4, n_layers=3, d_ff=160, base_seed=101,
     ),
-    "mistral-7b-gptq-sim": EdgeModelSpec(
+    EdgeModelSpec(
         name="mistral-7b-gptq-sim", paper_model="Mistral-7B-GPTQ",
         d_model=72, n_heads=4, n_layers=4, d_ff=192,
         quantize_bits=4, base_seed=202,
     ),
-    "phi-2-sim": EdgeModelSpec(
+    EdgeModelSpec(
         name="phi-2-sim", paper_model="Phi-2",
         d_model=56, n_heads=4, n_layers=3, d_ff=144, base_seed=303,
     ),
-}
+):
+    MODEL_REGISTRY.register(_spec.name, _spec)
+del _spec
+
+
+def register_model(spec: EdgeModelSpec, *, overwrite: bool = False) -> EdgeModelSpec:
+    """Add an architecture to the zoo under its spec name."""
+    return MODEL_REGISTRY.register(spec.name, spec, overwrite=overwrite)
 
 # Cache of pretrained weights keyed by (model name, corpus fingerprint,
 # seed, steps); stores state dicts so callers always get a fresh object.

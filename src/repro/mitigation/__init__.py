@@ -1,32 +1,45 @@
-"""Noise-mitigation baselines: SWV, CxDNN, CorrectNet (paper Table I)."""
+"""Noise-mitigation baselines: SWV, CxDNN, CorrectNet (paper Table I).
+
+The schemes live in a :class:`~repro.utils.Registry`, so new mitigations
+plug in without touching the framework:
+
+    from repro.mitigation import register_mitigation
+
+    @register_mitigation("mymiti")
+    class MyMitigation: ...
+
+and then ``FrameworkConfig(mitigation="mymiti")`` selects it.
+"""
 
 from ..cim.accelerator import NullMitigation
+from ..utils import Registry
 from .correctnet import CorrectNetMitigation
 from .cxdnn import CxDNNCompensation
 from .swv import SelectiveWriteVerify
 
 __all__ = ["SelectiveWriteVerify", "CxDNNCompensation",
            "CorrectNetMitigation", "NullMitigation", "make_mitigation",
-           "available_mitigations"]
+           "available_mitigations", "MITIGATION_REGISTRY",
+           "register_mitigation"]
 
-_FACTORIES = {
-    "none": NullMitigation,
-    "swv": SelectiveWriteVerify,
-    "cxdnn": CxDNNCompensation,
-    "correctnet": CorrectNetMitigation,
-}
+# name -> zero-argument factory (typically the class itself).
+MITIGATION_REGISTRY: Registry = Registry("mitigation")
+MITIGATION_REGISTRY.register("none", NullMitigation)
+MITIGATION_REGISTRY.register("swv", SelectiveWriteVerify)
+MITIGATION_REGISTRY.register("cxdnn", CxDNNCompensation)
+MITIGATION_REGISTRY.register("correctnet", CorrectNetMitigation)
+
+
+def register_mitigation(name: str, factory=None, *, overwrite: bool = False):
+    """Register a mitigation factory (usable as a class decorator)."""
+    return MITIGATION_REGISTRY.register(name, factory, overwrite=overwrite)
 
 
 def available_mitigations() -> list[str]:
     """Names accepted by :func:`make_mitigation`."""
-    return sorted(_FACTORIES)
+    return MITIGATION_REGISTRY.names()
 
 
 def make_mitigation(name: str):
     """Instantiate a mitigation strategy by name."""
-    try:
-        return _FACTORIES[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown mitigation {name!r}; available: {available_mitigations()}"
-        ) from None
+    return MITIGATION_REGISTRY[name]()

@@ -3,6 +3,7 @@
 from .crossbar import CrossbarArray, CrossbarStats
 from .device_models import (
     NVM_DEVICES,
+    register_device,
     REFERENCE_SIGMA,
     NVMDevice,
     available_devices,
@@ -12,6 +13,7 @@ from .quantize import Int16Codec, digits_to_values, slice_to_digits
 
 __all__ = [
     "NVMDevice", "NVM_DEVICES", "get_device", "available_devices",
+    "register_device",
     "REFERENCE_SIGMA",
     "Int16Codec", "slice_to_digits", "digits_to_values",
     "CrossbarArray", "CrossbarStats",

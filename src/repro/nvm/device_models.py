@@ -26,8 +26,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..utils import Registry
+
 __all__ = ["NVMDevice", "NVM_DEVICES", "get_device", "available_devices",
-           "REFERENCE_SIGMA"]
+           "register_device", "REFERENCE_SIGMA"]
 
 # Table II values are interpreted as measured at this reference variation.
 REFERENCE_SIGMA = 0.01
@@ -89,23 +91,38 @@ class NVMDevice:
         return rng.normal(0.0, 1.0, size=levels.shape).astype(np.float32) * stds
 
 
-NVM_DEVICES: dict[str, NVMDevice] = {
-    "NVM-1": NVMDevice("NVM-1", "RRAM1", "RRAM",
-                       (0.0100, 0.0100)),
-    "NVM-2": NVMDevice("NVM-2", "FeFET2", "FeFET",
-                       (0.0067, 0.0135, 0.0135, 0.0067)),
-    "NVM-3": NVMDevice("NVM-3", "FeFET3", "FeFET",
-                       (0.0049, 0.0146, 0.0146, 0.0049)),
-    "NVM-4": NVMDevice("NVM-4", "RRAM4", "RRAM",
-                       (0.0038, 0.0151, 0.0151, 0.0038)),
-    "NVM-5": NVMDevice("NVM-5", "FeFET6", "FeFET",
-                       (0.0026, 0.0155, 0.0155, 0.0026)),
-}
+def _validate_device(name: str, device: NVMDevice) -> None:
+    if not isinstance(device, NVMDevice):
+        raise TypeError(f"device {name!r} must be an NVMDevice")
+
+
+# Device zoo (a Registry, so new memory technologies plug in at runtime).
+NVM_DEVICES: Registry[NVMDevice] = Registry("NVM device",
+                                            validate=_validate_device)
+for _device in (
+    NVMDevice("NVM-1", "RRAM1", "RRAM",
+              (0.0100, 0.0100)),
+    NVMDevice("NVM-2", "FeFET2", "FeFET",
+              (0.0067, 0.0135, 0.0135, 0.0067)),
+    NVMDevice("NVM-3", "FeFET3", "FeFET",
+              (0.0049, 0.0146, 0.0146, 0.0049)),
+    NVMDevice("NVM-4", "RRAM4", "RRAM",
+              (0.0038, 0.0151, 0.0151, 0.0038)),
+    NVMDevice("NVM-5", "FeFET6", "FeFET",
+              (0.0026, 0.0155, 0.0155, 0.0026)),
+):
+    NVM_DEVICES.register(_device.name, _device)
+del _device
+
+
+def register_device(device: NVMDevice, *, overwrite: bool = False) -> NVMDevice:
+    """Add a device to the zoo under its experiment alias."""
+    return NVM_DEVICES.register(device.name, device, overwrite=overwrite)
 
 
 def available_devices() -> list[str]:
     """Experiment aliases accepted by :func:`get_device`."""
-    return sorted(NVM_DEVICES)
+    return NVM_DEVICES.names()
 
 
 def get_device(name: str) -> NVMDevice:

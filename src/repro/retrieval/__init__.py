@@ -2,9 +2,13 @@
 
 from .engine import (
     MIPS_CONFIG,
+    RETRIEVAL_REGISTRY,
     SSA_CONFIG,
     CiMSearchEngine,
     SearchConfig,
+    available_retrievals,
+    get_retrieval,
+    register_retrieval,
     wmsdp_reference,
 )
 from .pooling import avg_pool_rows, multi_scale_vectors, pad_rows
@@ -13,4 +17,6 @@ __all__ = [
     "pad_rows", "avg_pool_rows", "multi_scale_vectors",
     "SearchConfig", "SSA_CONFIG", "MIPS_CONFIG",
     "CiMSearchEngine", "wmsdp_reference",
+    "RETRIEVAL_REGISTRY", "register_retrieval", "available_retrievals",
+    "get_retrieval",
 ]

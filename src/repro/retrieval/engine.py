@@ -18,10 +18,12 @@ import numpy as np
 
 from ..cim.accelerator import CiMMatrix, MitigationHooks
 from ..nvm.device_models import NVMDevice
+from ..utils import Registry
 from .pooling import multi_scale_vectors
 
 __all__ = ["SearchConfig", "SSA_CONFIG", "MIPS_CONFIG", "CiMSearchEngine",
-           "wmsdp_reference"]
+           "wmsdp_reference", "RETRIEVAL_REGISTRY", "register_retrieval",
+           "available_retrievals", "get_retrieval"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,40 @@ class SearchConfig:
 
 SSA_CONFIG = SearchConfig(scales=(1, 2, 4), weights=(1.0, 0.8, 0.6))
 MIPS_CONFIG = SearchConfig(scales=(1,), weights=(1.0,))
+
+
+def _validate_retrieval(name: str, config: SearchConfig) -> None:
+    if not isinstance(config, SearchConfig):
+        raise TypeError(f"retrieval {name!r} must map to a SearchConfig")
+
+
+# Retrieval strategy zoo: a name selects the SearchConfig the framework's
+# CiMSearchEngine runs with.  ``FrameworkConfig(retrieval=...)`` accepts any
+# registered name, so new scale/weight schemes plug in without code changes:
+#
+#     register_retrieval("ssa-fine", SearchConfig(scales=(1, 2, 4, 8),
+#                                                 weights=(1.0, .8, .6, .4),
+#                                                 pad_length=16))
+RETRIEVAL_REGISTRY: Registry[SearchConfig] = Registry(
+    "retrieval strategy", validate=_validate_retrieval)
+RETRIEVAL_REGISTRY.register("ssa", SSA_CONFIG)
+RETRIEVAL_REGISTRY.register("mips", MIPS_CONFIG)
+
+
+def register_retrieval(name: str, config: SearchConfig | None = None, *,
+                       overwrite: bool = False):
+    """Register a retrieval strategy (name -> :class:`SearchConfig`)."""
+    return RETRIEVAL_REGISTRY.register(name, config, overwrite=overwrite)
+
+
+def available_retrievals() -> list[str]:
+    """Names accepted by ``FrameworkConfig(retrieval=...)``."""
+    return RETRIEVAL_REGISTRY.names()
+
+
+def get_retrieval(name: str) -> SearchConfig:
+    """Look up a registered retrieval strategy's search configuration."""
+    return RETRIEVAL_REGISTRY[name]
 
 
 def _unit(vector: np.ndarray) -> np.ndarray:

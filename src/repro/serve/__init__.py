@@ -1,0 +1,31 @@
+"""Multi-user serving layer for NVCiM-PT.
+
+The paper's deployment story is many edge users, each with a personal OVT
+library programmed onto NVM, served at low latency over one shared frozen
+base model.  This package is that story as an API:
+
+* :class:`PromptServeEngine` — owns the shared model/tokenizer and a
+  bounded LRU cache of per-user sessions (limited on-device NVM).
+* :class:`UserSession` — one user's training pipeline plus lazily
+  reprogrammed NVM deployment.
+* :class:`TuneRequest` / :class:`QueryRequest` / :class:`QueryResponse` —
+  the typed request/response surface, with retrieval telemetry (selected
+  OVT, similarity scores, analytic latency/energy) on every answer.
+
+Quickstart::
+
+    engine = PromptServeEngine(model, tokenizer,
+                               FrameworkConfig.preset("table1"))
+    engine.submit(TuneRequest(user_id=7, samples=tuple(stream)))
+    response = engine.query(QueryRequest(user_id=7, text="..."))
+    print(response.answer, response.ovt_index, response.latency_us)
+"""
+
+from .api import QueryRequest, QueryResponse, TuneRequest, TuneResponse
+from .engine import PromptServeEngine
+from .session import UserSession
+
+__all__ = [
+    "PromptServeEngine", "UserSession",
+    "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
+]

@@ -1,0 +1,83 @@
+"""Typed request/response objects of the serving API.
+
+Every interaction with :class:`~repro.serve.PromptServeEngine` is a small
+immutable dataclass: training data arrives as :class:`TuneRequest`s,
+queries as :class:`QueryRequest`s, and answers come back as
+:class:`QueryResponse`s that carry the generated text *plus* the retrieval
+telemetry an operator needs (which OVT was selected, the per-OVT
+similarity scores, and the analytic latency/energy estimate of the
+in-memory search from :mod:`repro.cim.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.lamp import Sample
+from ..llm.generation import GenerationConfig
+
+__all__ = ["TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse"]
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """A batch of one user's interactions for the training pipeline."""
+
+    user_id: int
+    samples: tuple[Sample, ...]
+    request_id: str = ""
+
+    def __post_init__(self):
+        if not isinstance(self.samples, tuple):
+            object.__setattr__(self, "samples", tuple(self.samples))
+        if not self.samples:
+            raise ValueError("a TuneRequest needs at least one sample")
+
+
+@dataclass(frozen=True)
+class TuneResponse:
+    """Outcome of absorbing one :class:`TuneRequest`."""
+
+    user_id: int
+    accepted: int            # samples absorbed into the user's buffer
+    epochs_fired: int        # training epochs the request triggered
+    library_size: int        # OVTs stored for this user afterwards
+    request_id: str = ""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One user query for the inference path."""
+
+    user_id: int
+    text: str
+    generation: GenerationConfig | None = None   # engine default when None
+    request_id: str = ""
+
+    def __post_init__(self):
+        if not self.text:
+            raise ValueError("a QueryRequest needs non-empty text")
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The answer to one :class:`QueryRequest`, with retrieval telemetry."""
+
+    user_id: int
+    text: str                          # the query, echoed back
+    answer: str                        # generated continuation
+    ovt_index: int                     # which stored OVT was retrieved
+    scores: tuple[float, ...] = ()     # WMSDP similarity per stored OVT
+    n_ovts: int = 0                    # library size at answer time
+    backend: str = ""                  # "RRAM" / "FeFET" on CiM, else "CPU"
+    latency_ns: float = 0.0            # analytic retrieval latency estimate
+    energy_pj: float = 0.0             # analytic retrieval energy estimate
+    request_id: str = ""
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns * 1e-3
+
+    @property
+    def energy_uj(self) -> float:
+        return self.energy_pj * 1e-6

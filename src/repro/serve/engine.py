@@ -1,0 +1,251 @@
+"""The multi-user serving engine.
+
+One :class:`PromptServeEngine` owns a single frozen base model and
+tokenizer — the expensive shared substrate — and a bounded LRU cache of
+per-user :class:`~repro.serve.session.UserSession`s, mirroring an edge
+deployment where the NVM banks can hold only so many users' OVT libraries
+at once.  Training data and queries arrive as typed request objects
+(:mod:`repro.serve.api`); answers carry retrieval telemetry, including the
+analytic CiM latency/energy estimate from :mod:`repro.cim.energy`.
+
+Batched entry points (:meth:`PromptServeEngine.submit_batch`,
+:meth:`PromptServeEngine.answer_batch`) group requests by user so each
+user's crossbars are programmed at most once per batch, and memoise query
+encodings and restored prompts within the batch.  Because retrieval noise
+is drawn at *programming* time (not per read), batched answers are
+byte-identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..cim.energy import RetrievalCostReport, retrieval_cost
+from ..core.framework import FrameworkConfig, NVCiMDeployment, OVTLibrary
+from ..data.lamp import Sample
+from ..llm.generation import GenerationConfig, generate
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+from .api import QueryRequest, QueryResponse, TuneRequest, TuneResponse
+from .session import UserSession
+
+__all__ = ["PromptServeEngine"]
+
+# int16 words are bit-sliced into one digit per cell.
+_WORD_BITS = 16
+
+
+def _deployment_cost(deployment: NVCiMDeployment) -> RetrievalCostReport:
+    """Analytic cost of one retrieval over this deployment's store."""
+    config = deployment.config
+    search = config.search_config()
+    device = deployment.engine.device
+    backend = device.kind if config.on_cim else "CPU"
+    code_rows = search.pad_length * config.code_dim
+    return retrieval_cost(
+        backend,
+        deployment.engine.n_stored,
+        code_rows=code_rows,
+        n_slices=_WORD_BITS // device.bits_per_cell,
+        scales=search.scales,
+        bytes_per_ovt=code_rows * 2.0,
+    )
+
+
+class PromptServeEngine:
+    """Serve many users' personal OVT libraries over one shared base model."""
+
+    def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                 config: FrameworkConfig | None = None, *,
+                 max_sessions: int = 8):
+        if max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config if config is not None else FrameworkConfig()
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict[int, UserSession] = OrderedDict()
+        self.evicted_sessions = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Session management (bounded, LRU — the on-device NVM budget)
+    # ------------------------------------------------------------------
+    def session(self, user_id: int, *,
+                config: FrameworkConfig | None = None) -> UserSession:
+        """The user's session, created (evicting the LRU one) if absent.
+
+        ``config`` overrides the engine default for *new* sessions only;
+        an existing session keeps the config it was created with.
+        """
+        if user_id in self._sessions:
+            self._sessions.move_to_end(user_id)
+            return self._sessions[user_id]
+        session = UserSession(user_id, self.model, self.tokenizer,
+                              config if config is not None else self.config)
+        self._sessions[user_id] = session
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evicted_sessions += 1
+        return session
+
+    def _resident_session(self, user_id: int) -> UserSession:
+        """The user's existing session; never creates one.
+
+        The inference path uses this so a stray query for an unknown (or
+        already-evicted) user fails cleanly instead of inserting an empty
+        session and LRU-evicting a resident user's trained library.
+        """
+        if user_id not in self._sessions:
+            raise KeyError(
+                f"no session for user {user_id!r}; submit training data "
+                f"(or load_session a library) first")
+        return self.session(user_id)   # touches LRU recency
+
+    def load_session(self, user_id: int, library: OVTLibrary, *,
+                     config: FrameworkConfig | None = None) -> UserSession:
+        """Create/refresh a session serving a library trained elsewhere."""
+        session = self.session(user_id, config=config)
+        session.adopt_library(library)
+        return session
+
+    def has_session(self, user_id: int) -> bool:
+        return user_id in self._sessions
+
+    def active_users(self) -> list[int]:
+        """Resident user ids, least- to most-recently used."""
+        return list(self._sessions)
+
+    def drop_session(self, user_id: int) -> bool:
+        """Explicitly evict one user; True if they were resident."""
+        return self._sessions.pop(user_id, None) is not None
+
+    def stats(self) -> dict:
+        """Aggregate serving counters (for dashboards and tests)."""
+        return {
+            "active_sessions": len(self._sessions),
+            "max_sessions": self.max_sessions,
+            "evicted_sessions": self.evicted_sessions,
+            "requests_served": self.requests_served,
+            "stored_ovts": sum(len(s.library) for s in self._sessions.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Training mode
+    # ------------------------------------------------------------------
+    def observe(self, user_id: int, sample: Sample) -> bool:
+        """Absorb one interaction; True when it triggered a training epoch."""
+        return self.session(user_id).observe(sample)
+
+    def submit(self, request: TuneRequest) -> TuneResponse:
+        """Absorb one user's batch of interactions."""
+        session = self.session(request.user_id)
+        epochs = session.extend(list(request.samples))
+        return TuneResponse(
+            user_id=request.user_id,
+            accepted=len(request.samples),
+            epochs_fired=epochs,
+            library_size=len(session.library),
+            request_id=request.request_id,
+        )
+
+    def submit_batch(self, requests: list[TuneRequest]) -> list[TuneResponse]:
+        """Absorb many users' batches; responses come back in input order.
+
+        Requests are grouped by user (preserving each user's arrival order)
+        so one user's buffer fills contiguously even when the input
+        interleaves users.
+        """
+        order: OrderedDict[int, list[int]] = OrderedDict()
+        for position, request in enumerate(requests):
+            order.setdefault(request.user_id, []).append(position)
+        responses: list[TuneResponse | None] = [None] * len(requests)
+        for positions in order.values():
+            for position in positions:
+                responses[position] = self.submit(requests[position])
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Inference mode
+    # ------------------------------------------------------------------
+    def default_generation(self) -> GenerationConfig:
+        """Paper inference settings, bound to this tokenizer's EOS."""
+        return GenerationConfig(max_new_tokens=100, temperature=0.1,
+                                eos_id=self.tokenizer.eos_id)
+
+    def answer(self, user_id: int, text: str,
+               generation: GenerationConfig | None = None) -> str:
+        """Convenience single-query path returning just the text."""
+        return self.query(QueryRequest(user_id=user_id, text=text,
+                                       generation=generation)).answer
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Serve one query through the full retrieve/restore/generate path.
+
+        Raises ``KeyError`` for a user with no resident session — inference
+        never creates sessions (that would let stray requests evict real
+        users' libraries).
+        """
+        session = self._resident_session(request.user_id)
+        return self._serve_one(session, session.deployment(), request, {}, {})
+
+    def answer_batch(self,
+                     requests: list[QueryRequest]) -> list[QueryResponse]:
+        """Serve a batch of queries; responses come back in input order.
+
+        Queries are grouped by user so each user's deployment is resolved
+        (and, if stale, reprogrammed) once per batch; repeated query texts
+        share one encoding and repeated retrievals share one NVM read-back.
+        Answers are byte-identical to issuing the same requests one at a
+        time through :meth:`query`.
+        """
+        order: OrderedDict[int, list[int]] = OrderedDict()
+        for position, request in enumerate(requests):
+            order.setdefault(request.user_id, []).append(position)
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        for user_id, positions in order.items():
+            session = self._resident_session(user_id)
+            deployment = session.deployment()
+            code_cache: dict[str, np.ndarray] = {}
+            prompt_cache: dict[int, np.ndarray] = {}
+            for position in positions:
+                responses[position] = self._serve_one(
+                    session, deployment, requests[position],
+                    code_cache, prompt_cache)
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _serve_one(self, session: UserSession, deployment: NVCiMDeployment,
+                   request: QueryRequest,
+                   code_cache: dict[str, np.ndarray],
+                   prompt_cache: dict[int, np.ndarray]) -> QueryResponse:
+        text = request.text
+        codes = code_cache.get(text)
+        if codes is None:
+            codes = code_cache[text] = deployment.encode_query(text)
+        scores = deployment.engine.query(codes)
+        index = int(np.argmax(scores))
+        prompt = prompt_cache.get(index)
+        if prompt is None:
+            prompt = prompt_cache[index] = deployment.restored_prompt(index)
+        generation = request.generation or self.default_generation()
+        ids = self.tokenizer.encode(text)
+        answer = self.tokenizer.decode(
+            generate(self.model, ids, generation, soft_prompt=prompt))
+        cost = _deployment_cost(deployment)
+        session.queries_served += 1
+        self.requests_served += 1
+        return QueryResponse(
+            user_id=request.user_id,
+            text=text,
+            answer=answer,
+            ovt_index=index,
+            scores=tuple(float(s) for s in scores),
+            n_ovts=deployment.engine.n_stored,
+            backend=cost.backend,
+            latency_ns=cost.latency_ns,
+            energy_pj=cost.energy_pj,
+            request_id=request.request_id,
+        )

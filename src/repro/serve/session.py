@@ -1,0 +1,100 @@
+"""Per-user serving state: one training pipeline + one lazy deployment.
+
+A :class:`UserSession` is everything the engine keeps for a single user:
+their streaming buffer and OVT library (via
+:class:`~repro.core.OVTTrainingPipeline`) and, once the library is
+non-empty, an :class:`~repro.core.NVCiMDeployment` whose crossbars hold the
+library.  The deployment is (re)programmed lazily: each training epoch
+changes the library, so the previous NVM contents are invalidated and the
+next query pays one reprogramming — exactly the write-then-serve cadence of
+the paper's edge device.
+"""
+
+from __future__ import annotations
+
+from ..core.framework import (
+    FrameworkConfig,
+    NVCiMDeployment,
+    OVTLibrary,
+    OVTTrainingPipeline,
+)
+from ..data.lamp import Sample
+from ..llm.generation import GenerationConfig
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+
+__all__ = ["UserSession"]
+
+
+class UserSession:
+    """One user's OVT library and NVM deployment over the shared model."""
+
+    def __init__(self, user_id: int, model: TinyCausalLM,
+                 tokenizer: Tokenizer,
+                 config: FrameworkConfig | None = None):
+        self.user_id = user_id
+        self.config = config if config is not None else FrameworkConfig()
+        self.pipeline = OVTTrainingPipeline(model, tokenizer, self.config)
+        self._deployment: NVCiMDeployment | None = None
+        self.epochs_completed = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> TinyCausalLM:
+        return self.pipeline.model
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        return self.pipeline.tokenizer
+
+    @property
+    def library(self) -> OVTLibrary:
+        return self.pipeline.library
+
+    @property
+    def is_deployed(self) -> bool:
+        """Whether the library is currently programmed onto the crossbars."""
+        return self._deployment is not None
+
+    # ------------------------------------------------------------------
+    # Training mode
+    # ------------------------------------------------------------------
+    def observe(self, sample: Sample) -> bool:
+        """Absorb one interaction; True when a training epoch just ran."""
+        fired = self.pipeline.observe(sample)
+        if fired:
+            self.epochs_completed += 1
+            self._deployment = None   # library changed; reprogram lazily
+        return fired
+
+    def extend(self, samples: list[Sample]) -> int:
+        """Absorb many interactions; returns the number of epochs fired."""
+        return sum(self.observe(sample) for sample in samples)
+
+    def adopt_library(self, library: OVTLibrary) -> None:
+        """Serve a library trained elsewhere (e.g. restored from storage)."""
+        self.pipeline.library = library
+        self._deployment = None
+
+    # ------------------------------------------------------------------
+    # Inference mode
+    # ------------------------------------------------------------------
+    def deployment(self) -> NVCiMDeployment:
+        """The NVM deployment, (re)programming the crossbars if stale."""
+        if not self.library.ovts:
+            raise RuntimeError(
+                "no OVTs trained yet; feed more samples via observe()"
+            )
+        if self._deployment is None:
+            self._deployment = NVCiMDeployment(
+                self.pipeline.model, self.pipeline.tokenizer, self.library,
+                self.config)
+        return self._deployment
+
+    def answer(self, input_text: str,
+               generation: GenerationConfig | None = None) -> str:
+        """Answer a query with this user's best stored OVT."""
+        answer = self.deployment().answer(input_text, generation)
+        self.queries_served += 1
+        return answer

@@ -1,5 +1,8 @@
-"""Shared utilities: deterministic RNG management and validation helpers."""
+"""Shared utilities: deterministic RNG management and the registry
+primitive every pluggable axis (models, devices, mitigations, retrieval
+strategies) is built on."""
 
+from .registry import Registry
 from .rng import derive_rng, rng_from_seed, spawn_seeds
 
-__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds"]
+__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds", "Registry"]

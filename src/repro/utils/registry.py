@@ -1,0 +1,90 @@
+"""A small string-keyed registry, the framework's extensibility primitive.
+
+Every pluggable axis of the system — edge-LLM architectures, NVM device
+models, noise-mitigation schemes, retrieval strategies — is a mapping from
+a short name to an implementation object.  :class:`Registry` gives them one
+shared shape: dict-style lookup (it is a :class:`collections.abc.Mapping`,
+so existing ``REGISTRY[name]`` / ``REGISTRY.values()`` call sites keep
+working), a uniform ``KeyError`` that lists the valid names, and a
+``register`` method usable directly or as a decorator so downstream code
+can plug in new entries without touching the framework:
+
+    @MITIGATIONS.register("mymiti")
+    class MyMitigation: ...
+
+    DEVICES.register("NVM-9", my_device)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Registry"]
+
+
+class Registry(Mapping, Generic[T]):
+    """An ordered, string-keyed registry of named implementations."""
+
+    def __init__(self, kind: str, *,
+                 validate: Callable[[str, T], None] | None = None):
+        self.kind = kind
+        self._validate = validate
+        self._entries: dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping interface (keeps dict-style call sites working).
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, entries={self.names()})"
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of every registered entry."""
+        return sorted(self._entries)
+
+    def register(self, name: str, obj: T | None = None, *,
+                 overwrite: bool = False):
+        """Register ``obj`` under ``name``; decorator form when obj is None.
+
+        Re-registering an existing name is an error unless ``overwrite=True``
+        (plugins should choose fresh names; experiments may deliberately
+        swap an entry).
+        """
+
+        def _add(value: T) -> T:
+            if not name or not isinstance(name, str):
+                raise ValueError(f"{self.kind} name must be a non-empty string")
+            if name in self._entries and not overwrite:
+                raise ValueError(
+                    f"{self.kind} {name!r} already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            if self._validate is not None:
+                self._validate(name, value)
+            self._entries[name] = value
+            return value
+
+        if obj is None:
+            return _add
+        return _add(obj)
+
+    def unregister(self, name: str) -> T:
+        """Remove and return an entry (tests and plugins use this)."""
+        return self._entries.pop(name)

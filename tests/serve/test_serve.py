@@ -1,0 +1,341 @@
+"""Tests for the multi-user serving layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import FrameworkConfig, NVCiMPT
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import (
+    PromptServeEngine,
+    QueryRequest,
+    TuneRequest,
+    UserSession,
+)
+from repro.tuning import TuningConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def fast_config(**overrides):
+    return FrameworkConfig.preset("fast", **overrides)
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def fast_generation(tok, n=3):
+    return GenerationConfig(max_new_tokens=n, temperature=0.0,
+                            eos_id=tok.eos_id)
+
+
+@pytest.fixture(scope="module")
+def trained_engine(setup):
+    """An engine with three users' libraries trained (10 samples each)."""
+    model, tok = setup
+    engine = PromptServeEngine(model, tok, fast_config(), max_sessions=4)
+    for user_id in (0, 1, 2):
+        engine.submit(TuneRequest(user_id=user_id,
+                                  samples=tuple(stream_for(user_id, 10,
+                                                           seed=user_id))))
+    return engine
+
+
+class TestRequestObjects:
+    def test_tune_request_needs_samples(self):
+        with pytest.raises(ValueError):
+            TuneRequest(user_id=0, samples=())
+
+    def test_tune_request_coerces_lists(self):
+        request = TuneRequest(user_id=0, samples=stream_for(0, 2))
+        assert isinstance(request.samples, tuple)
+
+    def test_query_request_needs_text(self):
+        with pytest.raises(ValueError):
+            QueryRequest(user_id=0, text="")
+
+
+class TestMultiUserServing:
+    def test_three_users_share_one_model(self, trained_engine, setup):
+        model, _ = setup
+        assert len(trained_engine.active_users()) == 3
+        for user_id in (0, 1, 2):
+            session = trained_engine.session(user_id)
+            assert session.model is model          # one shared base model
+            assert len(session.library) >= 1       # personal OVT library
+
+    def test_libraries_are_isolated(self, trained_engine):
+        libraries = [trained_engine.session(uid).library for uid in (0, 1, 2)]
+        assert len({id(lib) for lib in libraries}) == 3
+        for a in range(3):
+            for b in range(a + 1, 3):
+                for ovt_a in libraries[a].ovts:
+                    for ovt_b in libraries[b].ovts:
+                        assert ovt_a is not ovt_b
+
+    def test_answers_come_from_own_library(self, trained_engine, setup):
+        """User A's response must be served from A's OVTs: same query text,
+        different users, different retrieval stores."""
+        model, tok = setup
+        text = stream_for(0, 1)[0].input_text
+        generation = fast_generation(tok)
+        responses = {
+            uid: trained_engine.query(QueryRequest(user_id=uid, text=text,
+                                                   generation=generation))
+            for uid in (0, 1, 2)
+        }
+        for uid, response in responses.items():
+            session = trained_engine.session(uid)
+            assert response.n_ovts == len(session.library)
+            assert 0 <= response.ovt_index < response.n_ovts
+            assert len(response.scores) == response.n_ovts
+            # The reported index is the argmax of the reported scores.
+            assert response.ovt_index == int(np.argmax(response.scores))
+
+    def test_matches_single_user_facade(self, setup):
+        """The engine must answer exactly like the single-user NVCiMPT
+        facade trained on the same stream (no cross-user leakage)."""
+        model, tok = setup
+        stream = stream_for(5, 10, seed=5)
+        query = stream_for(5, 1, seed=123)[0].input_text
+        generation = fast_generation(tok)
+
+        facade = NVCiMPT(model, tok, fast_config())
+        for sample in stream:
+            facade.observe(sample)
+
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=4)
+        # Another user's data lives alongside and must not interfere.
+        engine.submit(TuneRequest(user_id=9,
+                                  samples=tuple(stream_for(9, 10, seed=9))))
+        engine.submit(TuneRequest(user_id=5, samples=tuple(stream)))
+        assert engine.answer(5, query, generation) == \
+            facade.answer(query, generation)
+
+
+class TestLRUEviction:
+    def test_capacity_bound_and_lru_order(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.session(0)
+        engine.session(1)
+        engine.session(0)              # touch 0: now 1 is least-recent
+        engine.session(2)              # evicts 1
+        assert engine.active_users() == [0, 2]
+        assert not engine.has_session(1)
+        assert engine.has_session(0)
+        assert engine.evicted_sessions == 1
+
+    def test_evicted_user_restarts_empty(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=1)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        assert len(engine.session(0).library) >= 1
+        engine.session(1)              # evicts user 0's library
+        assert len(engine.session(0).library) == 0   # fresh session
+        assert engine.evicted_sessions == 2          # 0 then 1 were evicted
+
+    def test_invalid_capacity_rejected(self, setup):
+        model, tok = setup
+        with pytest.raises(ValueError):
+            PromptServeEngine(model, tok, fast_config(), max_sessions=0)
+
+    def test_stray_query_cannot_evict_resident_library(self, setup):
+        """Inference never creates sessions: a query for an unknown user
+        fails cleanly instead of LRU-evicting a trained library."""
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=1)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        with pytest.raises(KeyError, match="no session for user 99"):
+            engine.query(QueryRequest(user_id=99, text="movie about tag",
+                                      generation=fast_generation(tok)))
+        assert engine.active_users() == [0]
+        assert engine.evicted_sessions == 0
+        assert len(engine.session(0).library) >= 1   # library survived
+
+
+class TestBatching:
+    def test_batch_matches_sequential(self, trained_engine, setup):
+        _, tok = setup
+        generation = fast_generation(tok)
+        requests = []
+        for uid in (0, 1, 2):
+            for i, sample in enumerate(stream_for(uid, 3, seed=42)):
+                requests.append(QueryRequest(
+                    user_id=uid, text=sample.input_text,
+                    generation=generation, request_id=f"u{uid}-q{i}"))
+        requests = requests[::2] + requests[1::2]    # interleave users
+
+        sequential = [trained_engine.query(r) for r in requests]
+        batched = trained_engine.answer_batch(requests)
+        assert [r.answer for r in batched] == [r.answer for r in sequential]
+        assert [r.ovt_index for r in batched] == \
+            [r.ovt_index for r in sequential]
+        # Input order and request ids are preserved.
+        assert [r.request_id for r in batched] == \
+            [r.request_id for r in requests]
+
+    def test_submit_batch_groups_by_user(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=4)
+        chunks = {uid: stream_for(uid, 5, seed=uid) for uid in (3, 4)}
+        # Interleaved half-buffers: grouping by user means each user's 10
+        # samples land contiguously and fire exactly one epoch.
+        requests = [
+            TuneRequest(user_id=3, samples=tuple(chunks[3])),
+            TuneRequest(user_id=4, samples=tuple(chunks[4])),
+            TuneRequest(user_id=3, samples=tuple(stream_for(3, 5, seed=30))),
+            TuneRequest(user_id=4, samples=tuple(stream_for(4, 5, seed=40))),
+        ]
+        responses = engine.submit_batch(requests)
+        assert [r.user_id for r in responses] == [3, 4, 3, 4]
+        assert responses[2].epochs_fired == 1
+        assert responses[3].epochs_fired == 1
+        assert len(engine.session(3).library) >= 1
+        assert len(engine.session(4).library) >= 1
+
+    def test_telemetry_populated(self, trained_engine, setup):
+        _, tok = setup
+        text = stream_for(0, 1)[0].input_text
+        response = trained_engine.query(QueryRequest(
+            user_id=0, text=text, generation=fast_generation(tok)))
+        assert response.backend == "FeFET"           # NVM-3 is FeFET3
+        assert response.latency_ns > 0
+        assert response.energy_pj > 0
+        assert response.latency_us == pytest.approx(response.latency_ns / 1e3)
+        assert response.text == text
+
+    def test_digital_mode_reports_cpu_backend(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(on_cim=False),
+                                   max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        response = engine.query(QueryRequest(
+            user_id=0, text=stream_for(0, 1)[0].input_text,
+            generation=fast_generation(tok)))
+        assert response.backend == "CPU"
+
+
+class TestUserSession:
+    def test_deployment_invalidated_by_new_epoch(self, setup):
+        model, tok = setup
+        session = UserSession(7, model, tok, fast_config())
+        assert session.extend(stream_for(7, 10, seed=7)) == 1
+        first = session.deployment()
+        assert session.is_deployed
+        session.extend(stream_for(7, 10, seed=8))
+        assert not session.is_deployed               # stale after training
+        assert session.deployment() is not first
+
+    def test_answer_without_library_raises(self, setup):
+        model, tok = setup
+        session = UserSession(7, model, tok, fast_config())
+        with pytest.raises(RuntimeError):
+            session.answer("movie about robot space tag")
+
+    def test_adopt_library(self, setup):
+        model, tok = setup
+        donor = UserSession(1, model, tok, fast_config())
+        donor.extend(stream_for(1, 10, seed=1))
+        session = UserSession(2, model, tok, fast_config())
+        session.adopt_library(donor.library)
+        assert session.library is donor.library
+        assert session.deployment().engine.n_stored == len(donor.library)
+
+
+class TestConfigSurface:
+    def test_round_trip_default(self):
+        config = FrameworkConfig()
+        assert FrameworkConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_customised(self):
+        from repro.retrieval import SearchConfig
+        config = FrameworkConfig(
+            buffer_capacity=12, device_name="NVM-5", sigma=0.05,
+            retrieval="mips", mitigation="swv", noise_aware=False,
+            code_dim=32, tuning=TuningConfig(steps=7, lr=0.01),
+            noise_factors=(1.0, 2.0, 2.0, 1.0),
+            search=SearchConfig(scales=(1, 2), weights=(1.0, 0.5)),
+            on_cim=False, seed=3)
+        assert FrameworkConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+        dumped = json.dumps(FrameworkConfig().to_dict())
+        assert FrameworkConfig.from_dict(json.loads(dumped)) == \
+            FrameworkConfig()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig.from_dict({"buffer_size": 10})
+
+    def test_every_preset_builds_and_round_trips(self):
+        names = FrameworkConfig.available_presets()
+        assert "table1" in names
+        for name in names:
+            config = FrameworkConfig.preset(name)
+            assert FrameworkConfig.from_dict(config.to_dict()) == config
+
+    def test_preset_overrides(self):
+        config = FrameworkConfig.preset("table1", device_name="NVM-5",
+                                        sigma=0.025)
+        assert config.device_name == "NVM-5"
+        assert config.sigma == 0.025
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            FrameworkConfig.preset("table99")
+
+
+class TestRegistries:
+    def test_retrieval_plugs_into_config(self):
+        from repro.retrieval import (
+            RETRIEVAL_REGISTRY,
+            SearchConfig,
+            register_retrieval,
+        )
+        register_retrieval("ssa-coarse",
+                           SearchConfig(scales=(1, 4), weights=(1.0, 0.6)))
+        try:
+            config = FrameworkConfig(retrieval="ssa-coarse")
+            assert config.search_config().scales == (1, 4)
+        finally:
+            RETRIEVAL_REGISTRY.unregister("ssa-coarse")
+        with pytest.raises(ValueError):
+            FrameworkConfig(retrieval="ssa-coarse")
+
+    def test_device_registration(self):
+        from repro.nvm import NVM_DEVICES, get_device, register_device
+        from repro.nvm.device_models import NVMDevice
+        device = NVMDevice("NVM-T", "TestRAM", "RRAM", (0.01, 0.01))
+        register_device(device)
+        try:
+            assert get_device("NVM-T") is device
+        finally:
+            NVM_DEVICES.unregister("NVM-T")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.mitigation import register_mitigation
+
+        class Fake:
+            name = "none"
+
+        with pytest.raises(ValueError):
+            register_mitigation("none", Fake)
+
+    def test_registry_lists_available_on_miss(self):
+        from repro.mitigation import MITIGATION_REGISTRY
+        with pytest.raises(KeyError, match="correctnet"):
+            MITIGATION_REGISTRY["nope"]
