@@ -1,0 +1,142 @@
+"""Incremental KV-cache decoding vs the full-reforward generation loop.
+
+The serving engine's hot path is autoregressive decoding.  Without a KV
+cache every generated token re-runs the transformer over the whole
+sequence — O(T^2 * layers) for a T-token generation.  With the cache the
+prompt is prefetched once and each step is a single-position forward.
+Both paths must emit *identical* token ids under identical seeds; the win
+is wall-clock only.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_decode_kv_cache.py          # timing
+    PYTHONPATH=src python benchmarks/bench_decode_kv_cache.py --smoke  # CI drift check
+
+The default (timing) mode generates 100 tokens from a 128-token context —
+the paper's inference budget — and fails unless the cached path is at
+least ``--min-speedup`` (5x) faster with identical output.  Smoke mode
+skips timing and checks token-for-token equivalence across the full
+conditioning matrix (greedy/sampled x soft prompt / KV prefix), so any
+cache drift fails CI fast.
+
+Token ids are compared exactly: both paths run in one process through the
+same ``np.matmul``, so per-step and full-sequence logits agree to the
+last ulp here.  If a future BLAS backend ever made (1,d)@(d,n) and
+(T,d)@(d,n) reductions diverge, a sampled case could flip at a
+probability boundary — loosen the sampled cases to a logit tolerance
+before weakening the greedy gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.ag import Tensor
+from repro.llm import GenerationConfig, TinyCausalLM, generate
+from repro.llm.transformer import LMConfig
+
+
+def build_model(*, smoke: bool) -> TinyCausalLM:
+    if smoke:
+        config = LMConfig(vocab_size=31, d_model=32, n_heads=4, n_layers=2,
+                          d_ff=48, max_seq_len=64)
+    else:
+        config = LMConfig(vocab_size=97, d_model=64, n_heads=4, n_layers=3,
+                          d_ff=128, max_seq_len=256)
+    return TinyCausalLM(config, seed=0)
+
+
+def timed_generate(model, ids, config, *, use_cache):
+    start = time.perf_counter()
+    out = generate(model, ids, config, use_cache=use_cache)
+    return out, time.perf_counter() - start
+
+
+def run_timing(context_len: int, n_tokens: int, min_speedup: float) -> int:
+    model = build_model(smoke=False)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(1, model.config.vocab_size, size=context_len)
+    # temperature 0.1 / no EOS: the paper's near-greedy budget, run in full.
+    config = GenerationConfig(max_new_tokens=n_tokens, temperature=0.1, seed=0)
+
+    uncached, t_uncached = timed_generate(model, ids, config, use_cache=False)
+    cached, t_cached = timed_generate(model, ids, config, use_cache=True)
+
+    identical = np.array_equal(uncached, cached)
+    speedup = t_uncached / t_cached if t_cached > 0 else float("inf")
+    print(f"\n=== KV-cache decode: {n_tokens} tokens "
+          f"@ {context_len}-token context ===")
+    print(f"uncached (full reforward): {t_uncached * 1e3:9.1f} ms")
+    print(f"cached (prefill + steps):  {t_cached * 1e3:9.1f} ms")
+    print(f"speedup:                   {speedup:9.1f}x")
+    print(f"identical token ids:       {identical} ({cached.size} tokens)")
+
+    if not identical:
+        print("FAIL: cached decode diverged from the reference loop")
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below required {min_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def run_smoke() -> int:
+    """Equivalence across the conditioning matrix; no timing assertions."""
+    model = build_model(smoke=True)
+    d_model = model.config.d_model
+    n_heads = model.config.n_heads
+    d_head = d_model // n_heads
+    rng = np.random.default_rng(7)
+    ids = rng.integers(1, model.config.vocab_size, size=12)
+    soft = rng.normal(0.0, 1.0, size=(5, d_model)).astype(np.float32)
+    prefix = [(Tensor(rng.normal(size=(1, n_heads, 3, d_head))),
+               Tensor(rng.normal(size=(1, n_heads, 3, d_head))))
+              for _ in range(model.config.n_layers)]
+
+    conditioning = {
+        "plain": {},
+        "soft-prompt": {"soft_prompt": soft},
+        "kv-prefix": {"prefix_kv": prefix},
+        "soft+prefix": {"soft_prompt": soft, "prefix_kv": prefix},
+    }
+    failures = 0
+    for name, kwargs in conditioning.items():
+        for temperature in (0.0, 0.8):
+            config = GenerationConfig(max_new_tokens=10,
+                                      temperature=temperature, seed=11)
+            reference = generate(model, ids, config, use_cache=False, **kwargs)
+            cached = generate(model, ids, config, use_cache=True, **kwargs)
+            ok = np.array_equal(reference, cached)
+            label = f"{name} @ T={temperature}"
+            print(f"{'ok  ' if ok else 'FAIL'} {label}: "
+                  f"{cached.size} tokens")
+            failures += not ok
+    if failures:
+        print(f"FAIL: {failures} cache-equivalence case(s) diverged")
+        return 1
+    print("OK: cached decode identical to reference in all cases")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast equivalence-only check (for CI)")
+    parser.add_argument("--context", type=int, default=128,
+                        help="prompt length for the timing run")
+    parser.add_argument("--tokens", type=int, default=100,
+                        help="tokens to generate in the timing run")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required cached-vs-uncached speedup")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    return run_timing(args.context, args.tokens, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,30 +12,32 @@ are passed around as plain numpy arrays.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "cat", "stack", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving engine decodes under no_grad() on
+# worker threads while training may run with gradients elsewhere.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations currently record gradients (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _as_array(data) -> np.ndarray:
@@ -69,7 +71,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False):
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
 
@@ -124,7 +126,7 @@ class Tensor:
     ) -> "Tensor":
         """Build a result tensor, recording the graph only when needed."""
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

@@ -1,7 +1,14 @@
 """Edge-LLM substrate: tokenizer, transformer, generation, model zoo."""
 
 from .attention import KVPrefix, MultiHeadSelfAttention
-from .generation import GenerationConfig, generate
+from .generation import (
+    GenerationConfig,
+    PrefillState,
+    decode_from,
+    generate,
+    prefill,
+)
+from .kv_cache import KVCache
 from .pretrain import PretrainConfig, pretrain_lm
 from .quantization import quantization_error, quantize_array, quantize_model_weights
 from .registry import (
@@ -18,9 +25,9 @@ from .transformer import LMConfig, TinyCausalLM, TransformerBlock
 
 __all__ = [
     "Tokenizer", "PAD", "BOS", "EOS", "UNK", "SEP",
-    "MultiHeadSelfAttention", "KVPrefix",
+    "MultiHeadSelfAttention", "KVPrefix", "KVCache",
     "LMConfig", "TransformerBlock", "TinyCausalLM",
-    "GenerationConfig", "generate",
+    "GenerationConfig", "PrefillState", "generate", "prefill", "decode_from",
     "PretrainConfig", "pretrain_lm",
     "quantize_array", "quantize_model_weights", "quantization_error",
     "EdgeModelSpec", "MODEL_REGISTRY", "available_models",

@@ -3,6 +3,13 @@
 The KV-prefix hook is what makes prefix tuning and P-tuning v2 possible:
 both inject trained ``(key, value)`` matrices that every query position may
 attend to, ahead of the causal window.
+
+The *past-KV* hook is what makes incremental decoding possible: a decode
+step feeds only the newest token plus the keys/values of everything already
+processed (``past_kv``), and the layer returns the extended cache so the
+next step can do the same.  Prefixes and past-KVs compose: the prefix is
+constant trained conditioning re-attached every call, while the past cache
+accumulates real positions.
 """
 
 from __future__ import annotations
@@ -39,43 +46,78 @@ class MultiHeadSelfAttention(Module):
     def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
         return x.reshape(batch, length, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, prefix_kv: KVPrefix | None = None) -> Tensor:
+    def _check_kv(self, k: Tensor, v: Tensor, what: str) -> None:
+        if k.shape != v.shape:
+            raise ValueError(f"{what} keys/values must share a shape")
+        if k.shape[1] != self.n_heads or k.shape[3] != self.d_head:
+            raise ValueError(
+                f"{what} shaped {k.shape} incompatible with "
+                f"{self.n_heads} heads of size {self.d_head}"
+            )
+
+    def forward(
+        self,
+        x: Tensor,
+        prefix_kv: KVPrefix | None = None,
+        past_kv: KVPrefix | None = None,
+        use_cache: bool = False,
+    ) -> Tensor | tuple[Tensor, KVPrefix]:
         """Attend over ``x`` (batch, T, d_model), optionally over a prefix.
 
         Prefix keys/values are visible to *all* query positions; the causal
         mask applies only among the real tokens.
+
+        ``past_kv`` carries the keys/values of previously processed
+        positions (cached tokens, *excluding* any prefix), each shaped
+        (batch, heads, T_past, d_head); the queries in ``x`` then occupy
+        positions ``T_past .. T_past+T-1`` of the causal window.  With
+        ``use_cache=True`` the return value is ``(output, (k, v))`` where
+        ``(k, v)`` extend ``past_kv`` with this call's positions — pass
+        them back as the next step's ``past_kv``.
         """
         batch, length, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, length)
         k = self._split_heads(self.k_proj(x), batch, length)
         v = self._split_heads(self.v_proj(x), batch, length)
 
+        past_len = 0
+        if past_kv is not None:
+            past_k, past_v = past_kv
+            self._check_kv(past_k, past_v, "past")
+            past_len = past_k.shape[2]
+            k = cat([past_k, k], axis=2)
+            v = cat([past_v, v], axis=2)
+        present = (k, v) if use_cache else None
+
         prefix_len = 0
         if prefix_kv is not None:
             pk, pv = prefix_kv
-            if pk.shape != pv.shape:
-                raise ValueError("prefix keys/values must share a shape")
-            if pk.shape[1] != self.n_heads or pk.shape[3] != self.d_head:
-                raise ValueError(
-                    f"prefix shaped {pk.shape} incompatible with "
-                    f"{self.n_heads} heads of size {self.d_head}"
-                )
+            self._check_kv(pk, pv, "prefix")
             prefix_len = pk.shape[2]
             k = cat([pk, k], axis=2)
             v = cat([pv, v], axis=2)
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
-        mask = self._causal_mask(length, prefix_len)
+        mask = self._causal_mask(length, prefix_len, past_len)
         scores = scores.masked_fill(mask, _NEG_INF)
         weights = softmax(scores, axis=-1)
         context = weights @ v  # (batch, heads, T, d_head)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, length, self.d_model)
-        return self.out_proj(merged)
+        out = self.out_proj(merged)
+        if use_cache:
+            return out, present
+        return out
 
     @staticmethod
-    def _causal_mask(length: int, prefix_len: int) -> np.ndarray:
-        """Boolean mask, True = blocked. Shape (T, P+T), prefix never blocked."""
-        token_part = np.triu(np.ones((length, length), dtype=bool), k=1)
+    def _causal_mask(length: int, prefix_len: int,
+                     past_len: int = 0) -> np.ndarray:
+        """Boolean mask, True = blocked. Shape (T, P+T_past+T).
+
+        Query ``i`` sits at absolute position ``past_len + i``; it sees the
+        whole prefix, every cached position, and tokens up to itself.
+        """
+        token_part = np.triu(np.ones((length, past_len + length), dtype=bool),
+                             k=past_len + 1)
         if prefix_len == 0:
             return token_part
         prefix_part = np.zeros((length, prefix_len), dtype=bool)

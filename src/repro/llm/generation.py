@@ -3,6 +3,17 @@
 Matches the paper's inference settings: temperature 0.1 (near-greedy) and at
 most 100 generated tokens.  Generation optionally consumes the two prompt
 conditioning mechanisms (soft-prompt embeddings and per-layer KV prefixes).
+
+Decoding is incremental by default: the prompt (soft prompt included) is
+run through the model once with ``use_cache=True`` (*prefill*), and every
+subsequent token is a single-position forward against the growing
+:class:`~repro.llm.kv_cache.KVCache` — O(T) per step instead of re-running
+the whole sequence.  ``use_cache=False`` keeps the original full-reforward
+loop; both paths emit identical token ids under identical seeds.
+
+The prefill/decode split is also public (:func:`prefill`,
+:func:`decode_from`) so the serving engine can run a prompt's prefill once
+and reuse it across repeated queries.
 """
 
 from __future__ import annotations
@@ -13,9 +24,11 @@ import numpy as np
 
 from ..ag import Tensor, cat, no_grad
 from .attention import KVPrefix
+from .kv_cache import KVCache
 from .transformer import TinyCausalLM
 
-__all__ = ["GenerationConfig", "generate"]
+__all__ = ["GenerationConfig", "PrefillState", "generate", "prefill",
+           "decode_from"]
 
 
 @dataclass(frozen=True)
@@ -34,14 +47,147 @@ class GenerationConfig:
             raise ValueError("temperature must be non-negative")
 
 
+@dataclass(frozen=True)
+class PrefillState:
+    """One prompt run through the model, ready to decode from.
+
+    Reusable: :func:`decode_from` never mutates the state or its cache, so
+    one prefill can seed any number of decodes (different seeds,
+    temperatures, budgets).  The KV prefix the prompt was conditioned on is
+    recorded here and re-attached on every decode step — callers cannot
+    accidentally decode with mismatched conditioning.
+    """
+
+    cache: KVCache
+    last_logits: np.ndarray   # (vocab,) logits of the final prompt position
+    n_tokens: int             # real prompt tokens
+    virtual_len: int          # soft-prompt rows occupying the context window
+    prefix_kv: list[KVPrefix] | None = None
+
+    @property
+    def seq_len(self) -> int:
+        """Positions consumed so far (virtual + real)."""
+        return self.cache.seq_len
+
+
 def _sample(logits: np.ndarray, temperature: float,
             rng: np.random.Generator) -> int:
     if temperature == 0.0:
         return int(np.argmax(logits))
-    scaled = (logits - logits.max()) / temperature
+    # float64 throughout: float32 probabilities can miss rng.choice's
+    # sum-to-1 tolerance on large vocabularies.
+    scaled = (logits.astype(np.float64) - logits.max()) / temperature
     probs = np.exp(scaled)
     probs /= probs.sum()
     return int(rng.choice(probs.size, p=probs))
+
+
+def _check_room(model: TinyCausalLM, n_tokens: int, virtual_len: int) -> None:
+    """Reject prompts that leave no room to generate a single token."""
+    if n_tokens + virtual_len >= model.config.max_seq_len:
+        raise ValueError(
+            f"prompt of {n_tokens} tokens plus soft prompt of {virtual_len} "
+            f"rows leaves no room to generate within "
+            f"max_seq_len={model.config.max_seq_len}"
+        )
+
+
+def _virtual_len(soft_prompt: Tensor | np.ndarray | None) -> int:
+    if soft_prompt is None:
+        return 0
+    data = soft_prompt.data if isinstance(soft_prompt, Tensor) else soft_prompt
+    return np.asarray(data).shape[0]
+
+
+def _embed_with_soft_prompt(model: TinyCausalLM, ids: np.ndarray,
+                            soft_prompt: Tensor | np.ndarray) -> Tensor:
+    """(1, P+T, d_model) embeddings: soft-prompt rows then token embeddings."""
+    prompt = soft_prompt if isinstance(soft_prompt, Tensor) else Tensor(soft_prompt)
+    token_emb = model.embed(ids[None, :])
+    return cat([prompt.reshape(1, *prompt.shape), token_emb], axis=1)
+
+
+def prefill(
+    model: TinyCausalLM,
+    token_ids: np.ndarray,
+    *,
+    soft_prompt: Tensor | np.ndarray | None = None,
+    prefix_kv: list[KVPrefix] | None = None,
+) -> PrefillState:
+    """Run the prompt once with a KV cache and return the decode-ready state.
+
+    Raises ``ValueError`` when the prompt (plus soft-prompt rows) already
+    fills the context window — there would be no room to generate.
+    """
+    token_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    if token_ids.size == 0:
+        raise ValueError("prefill() needs at least one prompt token")
+    virtual_len = _virtual_len(soft_prompt)
+    _check_room(model, token_ids.size, virtual_len)
+    # Toggle train/eval only when needed, so decoding a model already in
+    # eval mode writes no shared module state.  Module mode (unlike grad
+    # mode) is not thread-local: callers that decode concurrently must keep
+    # the model pinned to eval, as the serving engine does.
+    was_training = model.training
+    if was_training:
+        model.eval()
+    try:
+        with no_grad():
+            if soft_prompt is None:
+                logits, cache = model(token_ids[None, :], prefix_kv=prefix_kv,
+                                      use_cache=True)
+            else:
+                full = _embed_with_soft_prompt(model, token_ids, soft_prompt)
+                logits, cache = model(embeddings=full, prefix_kv=prefix_kv,
+                                      use_cache=True)
+    finally:
+        if was_training:
+            model.train()
+    return PrefillState(cache=cache, last_logits=logits.data[0, -1].copy(),
+                        n_tokens=int(token_ids.size), virtual_len=virtual_len,
+                        prefix_kv=prefix_kv)
+
+
+def decode_from(
+    model: TinyCausalLM,
+    state: PrefillState,
+    config: GenerationConfig = GenerationConfig(),
+) -> np.ndarray:
+    """Sample a continuation from a :class:`PrefillState`, one token per step.
+
+    The KV prefix recorded at prefill time is re-attached on every step —
+    it is constant conditioning, not part of the cache.  The state itself
+    is left untouched (decode again for another sample).
+    """
+    rng = np.random.default_rng(config.seed)
+    budget = model.config.max_seq_len - state.virtual_len
+    total = state.n_tokens
+    logits = state.last_logits
+    cache = state.cache
+    generated: list[int] = []
+    was_training = model.training
+    if was_training:
+        model.eval()
+    try:
+        with no_grad():
+            for _ in range(config.max_new_tokens):
+                if total >= budget:
+                    break
+                if generated:
+                    step_out, cache = model(
+                        np.array([[generated[-1]]], dtype=np.int64),
+                        prefix_kv=state.prefix_kv, past_kv=cache,
+                        use_cache=True)
+                    logits = step_out.data[0, -1]
+                next_id = _sample(logits, config.temperature, rng)
+                if config.eos_id is not None and next_id == config.eos_id:
+                    break
+                generated.append(next_id)
+                total += 1
+    finally:
+        if was_training:
+            model.train()
+    return np.asarray(generated, dtype=np.int64)
 
 
 def generate(
@@ -51,6 +197,7 @@ def generate(
     *,
     soft_prompt: Tensor | np.ndarray | None = None,
     prefix_kv: list[KVPrefix] | None = None,
+    use_cache: bool = True,
 ) -> np.ndarray:
     """Generate a continuation of ``token_ids`` (1-D array of ids).
 
@@ -61,19 +208,43 @@ def generate(
         soft_prompt: optional (P, d_model) virtual-token matrix prepended to
             the input embeddings — the OVT path of the paper.
         prefix_kv: optional per-layer KV prefixes (prefix tuning path).
+        use_cache: incremental decoding (prefill once, then one-position
+            steps).  ``False`` re-runs the full sequence every step; both
+            paths produce identical ids under identical seeds.
 
     Returns:
         The generated ids only (prompt excluded), stopping at ``eos_id``.
+
+    Raises:
+        ValueError: when the prompt (plus soft-prompt rows) already fills
+            the model's context window, leaving no room to generate.
     """
     token_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    if use_cache:
+        state = prefill(model, token_ids, soft_prompt=soft_prompt,
+                        prefix_kv=prefix_kv)   # validates prompt and room
+        return decode_from(model, state, config)
     if token_ids.size == 0:
         raise ValueError("generate() needs at least one prompt token")
+    _check_room(model, token_ids.size, _virtual_len(soft_prompt))
+    return _generate_uncached(model, token_ids, config,
+                              soft_prompt=soft_prompt, prefix_kv=prefix_kv)
+
+
+def _generate_uncached(
+    model: TinyCausalLM,
+    token_ids: np.ndarray,
+    config: GenerationConfig,
+    *,
+    soft_prompt: Tensor | np.ndarray | None,
+    prefix_kv: list[KVPrefix] | None,
+) -> np.ndarray:
+    """Reference full-reforward loop (the pre-cache behaviour)."""
     rng = np.random.default_rng(config.seed)
     was_training = model.training
-    model.eval()
-    prompt_len = 0 if soft_prompt is None else np.asarray(
-        soft_prompt.data if isinstance(soft_prompt, Tensor) else soft_prompt
-    ).shape[0]
+    if was_training:
+        model.eval()
+    prompt_len = _virtual_len(soft_prompt)
     generated: list[int] = []
     try:
         with no_grad():
@@ -82,7 +253,7 @@ def generate(
             for _ in range(config.max_new_tokens):
                 if ids.size >= budget:
                     break
-                logits = _forward(model, ids, soft_prompt, prefix_kv)
+                logits = _full_forward(model, ids, soft_prompt, prefix_kv)
                 next_id = _sample(logits, config.temperature, rng)
                 if config.eos_id is not None and next_id == config.eos_id:
                     break
@@ -94,14 +265,12 @@ def generate(
     return np.asarray(generated, dtype=np.int64)
 
 
-def _forward(model: TinyCausalLM, ids: np.ndarray,
-             soft_prompt, prefix_kv) -> np.ndarray:
+def _full_forward(model: TinyCausalLM, ids: np.ndarray,
+                  soft_prompt, prefix_kv) -> np.ndarray:
     """Logits of the final position, with optional prompt conditioning."""
     if soft_prompt is None:
         logits = model(ids[None, :], prefix_kv=prefix_kv)
     else:
-        prompt = soft_prompt if isinstance(soft_prompt, Tensor) else Tensor(soft_prompt)
-        token_emb = model.embed(ids[None, :])
-        full = cat([prompt.reshape(1, *prompt.shape), token_emb], axis=1)
+        full = _embed_with_soft_prompt(model, ids, soft_prompt)
         logits = model(embeddings=full, prefix_kv=prefix_kv)
     return logits.data[0, -1]

@@ -1,0 +1,66 @@
+"""Per-layer key/value cache for incremental decoding.
+
+A :class:`KVCache` holds, for every transformer layer, the keys and values
+of all positions processed so far, shaped ``(batch, heads, T, d_head)``.
+Caches are value-immutable: each forward pass with ``use_cache=True``
+returns a *new* cache whose tensors extend the old one (the old cache and
+its tensors are never mutated), so a prefill cache can be shared safely
+between many decodes — the basis of the serving engine's prefill reuse.
+
+Trained KV *prefixes* (prefix tuning / P-tuning v2) are deliberately not
+stored here: they are constant conditioning re-attached by the attention
+layer on every step, while the cache only accumulates real positions.
+"""
+
+from __future__ import annotations
+
+from .attention import KVPrefix
+
+__all__ = ["KVCache"]
+
+
+class KVCache:
+    """Immutable-by-convention container of one ``(key, value)`` pair per layer."""
+
+    __slots__ = ("_layers",)
+
+    def __init__(self, layers: list[KVPrefix]):
+        if not layers:
+            raise ValueError("KVCache needs at least one layer")
+        lengths = {kv[0].shape[2] for kv in layers}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all layers must cache the same number of positions, "
+                f"got lengths {sorted(lengths)}"
+            )
+        self._layers = list(layers)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def seq_len(self) -> int:
+        """Number of positions cached (soft-prompt rows count as positions)."""
+        return self._layers[0][0].shape[2]
+
+    @property
+    def batch_size(self) -> int:
+        return self._layers[0][0].shape[0]
+
+    def layer(self, index: int) -> KVPrefix:
+        """The cached ``(key, value)`` pair of one layer."""
+        return self._layers[index]
+
+    def memory_bytes(self) -> int:
+        """Approximate cache footprint (for serving telemetry)."""
+        return sum(kv[0].data.nbytes + kv[1].data.nbytes
+                   for kv in self._layers)
+
+    def __len__(self) -> int:
+        return self.n_layers
+
+    def __repr__(self) -> str:
+        return (f"KVCache(n_layers={self.n_layers}, seq_len={self.seq_len}, "
+                f"batch={self.batch_size})")

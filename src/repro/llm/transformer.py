@@ -6,6 +6,12 @@ The model exposes two hooks the prompt-tuning methods rely on:
   which is how soft prompts are prepended (vanilla PT, DEPT);
 * ``forward(prefix_kv=[...])`` — per-layer key/value prefixes (prefix
   tuning, P-tuning v2).
+
+Incremental decoding adds a third hook: ``forward(past_kv=cache,
+use_cache=True)`` processes only the *new* positions against a
+:class:`~repro.llm.kv_cache.KVCache` of everything already seen (position
+embeddings are offset by the cached length) and returns the extended cache
+alongside the logits.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import numpy as np
 
 from ..ag import Embedding, Dropout, LayerNorm, Linear, Module, Tensor, gelu
 from .attention import KVPrefix, MultiHeadSelfAttention
+from .kv_cache import KVCache
 
 __all__ = ["LMConfig", "TransformerBlock", "TinyCausalLM"]
 
@@ -53,9 +60,22 @@ class TransformerBlock(Module):
         self.ff2 = Linear(config.d_ff, config.d_model, rng=rng)
         self.drop = Dropout(config.dropout, rng=rng)
 
-    def forward(self, x: Tensor, prefix_kv: KVPrefix | None = None) -> Tensor:
-        x = x + self.attn(self.ln1(x), prefix_kv=prefix_kv)
+    def forward(
+        self,
+        x: Tensor,
+        prefix_kv: KVPrefix | None = None,
+        past_kv: KVPrefix | None = None,
+        use_cache: bool = False,
+    ) -> Tensor | tuple[Tensor, KVPrefix]:
+        attended = self.attn(self.ln1(x), prefix_kv=prefix_kv,
+                             past_kv=past_kv, use_cache=use_cache)
+        present = None
+        if use_cache:
+            attended, present = attended
+        x = x + attended
         x = x + self.drop(self.ff2(gelu(self.ff1(self.ln2(x)))))
+        if use_cache:
+            return x, present
         return x
 
 
@@ -97,12 +117,20 @@ class TinyCausalLM(Module):
         *,
         embeddings: Tensor | None = None,
         prefix_kv: list[KVPrefix] | None = None,
-    ) -> Tensor:
+        past_kv: KVCache | None = None,
+        use_cache: bool = False,
+    ) -> Tensor | tuple[Tensor, KVCache]:
         """Return logits of shape (batch, T, vocab).
 
         Exactly one of ``token_ids`` (batch, T) or ``embeddings``
         (batch, T, d_model) must be given.  ``prefix_kv`` carries one
         (key, value) pair per layer, or None.
+
+        ``past_kv`` is a :class:`KVCache` of previously processed positions:
+        the inputs are treated as positions ``past_kv.seq_len ..`` of the
+        logical sequence (position embeddings offset accordingly).  With
+        ``use_cache=True`` the return value is ``(logits, cache)`` where
+        ``cache`` extends ``past_kv`` with the new positions.
         """
         if (token_ids is None) == (embeddings is None):
             raise ValueError("pass exactly one of token_ids or embeddings")
@@ -112,17 +140,38 @@ class TinyCausalLM(Module):
                 token_ids = token_ids[None, :]
             embeddings = self.token_embedding(token_ids)
         batch, length, _ = embeddings.shape
-        if length > self.config.max_seq_len:
+        past_len = 0
+        if past_kv is not None:
+            if past_kv.n_layers != len(self.blocks):
+                raise ValueError(
+                    f"past_kv has {past_kv.n_layers} layers for "
+                    f"{len(self.blocks)} blocks"
+                )
+            past_len = past_kv.seq_len
+        if past_len + length > self.config.max_seq_len:
             raise ValueError(
-                f"sequence of {length} exceeds max_seq_len={self.config.max_seq_len}"
+                f"sequence of {past_len + length} exceeds "
+                f"max_seq_len={self.config.max_seq_len}"
             )
         if prefix_kv is not None and len(prefix_kv) != len(self.blocks):
             raise ValueError(
                 f"prefix_kv has {len(prefix_kv)} entries for "
                 f"{len(self.blocks)} layers"
             )
-        positions = np.arange(length)
+        positions = np.arange(past_len, past_len + length)
         x = embeddings + self.position_embedding(positions)
+        present: list[KVPrefix] = []
         for i, block in enumerate(self.blocks):
-            x = block(x, prefix_kv=None if prefix_kv is None else prefix_kv[i])
-        return self.lm_head(self.ln_final(x))
+            x = block(
+                x,
+                prefix_kv=None if prefix_kv is None else prefix_kv[i],
+                past_kv=None if past_kv is None else past_kv.layer(i),
+                use_cache=use_cache,
+            )
+            if use_cache:
+                x, layer_kv = x
+                present.append(layer_kv)
+        logits = self.lm_head(self.ln_final(x))
+        if use_cache:
+            return logits, KVCache(present)
+        return logits

@@ -109,9 +109,11 @@ class CrossbarArray:
             raise ValueError(f"input of {x.size} does not match {self.rows} rows")
         currents = x @ self._conductance
         self.stats.mvm_ops += 1
-        self.stats.adc_conversions += self.cols
         if not quantize_output:
+            # No ADC on an un-quantized (ideal analog) readout: counting
+            # conversions here would inflate the energy model.
             return currents
+        self.stats.adc_conversions += self.cols
         full_scale = float(np.abs(x).sum()) or 1.0  # max possible current
         step = 2.0 * full_scale / (2 ** self.adc_bits - 1)
         return np.round(currents / step) * step

@@ -14,6 +14,13 @@ user's crossbars are programmed at most once per batch, and memoise query
 encodings and restored prompts within the batch.  Because retrieval noise
 is drawn at *programming* time (not per read), batched answers are
 byte-identical to sequential ones.
+
+Generation runs through the incremental decode path: each session keeps an
+LRU of decode-ready prefill states keyed by ``(text, OVT index)``, so
+repeated queries — within one ``answer_batch`` or across calls — share one
+KV prefill and every token is a single-position forward.  Incremental
+decoding emits exactly the tokens the full-reforward loop would, so this
+changes latency, not answers.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ import numpy as np
 from ..cim.energy import RetrievalCostReport, retrieval_cost
 from ..core.framework import FrameworkConfig, NVCiMDeployment, OVTLibrary
 from ..data.lamp import Sample
-from ..llm.generation import GenerationConfig, generate
+from ..llm.generation import GenerationConfig, decode_from
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
 from .api import QueryRequest, QueryResponse, TuneRequest, TuneResponse
@@ -62,6 +69,9 @@ class PromptServeEngine:
                  max_sessions: int = 8):
         if max_sessions <= 0:
             raise ValueError("max_sessions must be positive")
+        # The base model is frozen shared state: pin it to eval mode once so
+        # decoding never has to flip module flags other threads could see.
+        model.eval()
         self.model = model
         self.tokenizer = tokenizer
         self.config = config if config is not None else FrameworkConfig()
@@ -69,6 +79,7 @@ class PromptServeEngine:
         self._sessions: OrderedDict[int, UserSession] = OrderedDict()
         self.evicted_sessions = 0
         self.requests_served = 0
+        self._evicted_prefill_hits = 0   # keeps stats monotonic across LRU
 
     # ------------------------------------------------------------------
     # Session management (bounded, LRU — the on-device NVM budget)
@@ -87,7 +98,8 @@ class PromptServeEngine:
                               config if config is not None else self.config)
         self._sessions[user_id] = session
         while len(self._sessions) > self.max_sessions:
-            self._sessions.popitem(last=False)
+            _, evicted = self._sessions.popitem(last=False)
+            self._evicted_prefill_hits += evicted.prefill_hits
             self.evicted_sessions += 1
         return session
 
@@ -120,7 +132,11 @@ class PromptServeEngine:
 
     def drop_session(self, user_id: int) -> bool:
         """Explicitly evict one user; True if they were resident."""
-        return self._sessions.pop(user_id, None) is not None
+        session = self._sessions.pop(user_id, None)
+        if session is None:
+            return False
+        self._evicted_prefill_hits += session.prefill_hits
+        return True
 
     def stats(self) -> dict:
         """Aggregate serving counters (for dashboards and tests)."""
@@ -130,6 +146,11 @@ class PromptServeEngine:
             "evicted_sessions": self.evicted_sessions,
             "requests_served": self.requests_served,
             "stored_ovts": sum(len(s.library) for s in self._sessions.values()),
+            "prefill_hits": self._evicted_prefill_hits +
+                            sum(s.prefill_hits
+                                for s in self._sessions.values()),
+            "prefill_cache_bytes": sum(s.prefill_cache_bytes()
+                                       for s in self._sessions.values()),
         }
 
     # ------------------------------------------------------------------
@@ -227,13 +248,20 @@ class PromptServeEngine:
             codes = code_cache[text] = deployment.encode_query(text)
         scores = deployment.engine.query(codes)
         index = int(np.argmax(scores))
-        prompt = prompt_cache.get(index)
-        if prompt is None:
-            prompt = prompt_cache[index] = deployment.restored_prompt(index)
+
+        def restore_prompt() -> np.ndarray:
+            # Only reached on a prefill-cache miss: a repeated query skips
+            # the NVM read-back and autoencoder decode along with the
+            # prefill itself.
+            prompt = prompt_cache.get(index)
+            if prompt is None:
+                prompt = prompt_cache[index] = deployment.restored_prompt(index)
+            return prompt
+
         generation = request.generation or self.default_generation()
-        ids = self.tokenizer.encode(text)
+        state = session.prefill_state(text, index, restore_prompt)
         answer = self.tokenizer.decode(
-            generate(self.model, ids, generation, soft_prompt=prompt))
+            decode_from(self.model, state, generation))
         cost = _deployment_cost(deployment)
         session.queries_served += 1
         self.requests_served += 1

@@ -8,9 +8,21 @@ library.  The deployment is (re)programmed lazily: each training epoch
 changes the library, so the previous NVM contents are invalidated and the
 next query pays one reprogramming — exactly the write-then-serve cadence of
 the paper's edge device.
+
+The session also keeps a small LRU cache of decode-ready
+:class:`~repro.llm.generation.PrefillState`s keyed by ``(query text, OVT
+index)``: a repeated query (within a batch or across batches) pays the KV
+prefill once and every answer is produced by incremental decode steps
+against the cached state.  Training invalidates the cache along with the
+deployment, since a retrained library restores different soft prompts.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
 
 from ..core.framework import (
     FrameworkConfig,
@@ -19,11 +31,15 @@ from ..core.framework import (
     OVTTrainingPipeline,
 )
 from ..data.lamp import Sample
-from ..llm.generation import GenerationConfig
+from ..llm.generation import GenerationConfig, PrefillState, prefill
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
 
 __all__ = ["UserSession"]
+
+# Per-session bound on cached prefill states (each holds per-layer KV
+# tensors, so the footprint is context-length x layers, not unbounded).
+_MAX_PREFILL_STATES = 32
 
 
 class UserSession:
@@ -36,8 +52,11 @@ class UserSession:
         self.config = config if config is not None else FrameworkConfig()
         self.pipeline = OVTTrainingPipeline(model, tokenizer, self.config)
         self._deployment: NVCiMDeployment | None = None
+        self._prefill_states: OrderedDict[tuple[str, int], PrefillState] = \
+            OrderedDict()
         self.epochs_completed = 0
         self.queries_served = 0
+        self.prefill_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -66,6 +85,7 @@ class UserSession:
         if fired:
             self.epochs_completed += 1
             self._deployment = None   # library changed; reprogram lazily
+            self._prefill_states.clear()  # restored prompts change too
         return fired
 
     def extend(self, samples: list[Sample]) -> int:
@@ -76,6 +96,7 @@ class UserSession:
         """Serve a library trained elsewhere (e.g. restored from storage)."""
         self.pipeline.library = library
         self._deployment = None
+        self._prefill_states.clear()
 
     # ------------------------------------------------------------------
     # Inference mode
@@ -91,6 +112,38 @@ class UserSession:
                 self.pipeline.model, self.pipeline.tokenizer, self.library,
                 self.config)
         return self._deployment
+
+    def prefill_state(
+        self,
+        text: str,
+        ovt_index: int,
+        restore_prompt: Callable[[], np.ndarray],
+    ) -> PrefillState:
+        """Decode-ready prefill of ``prompt + text``, cached per session.
+
+        ``restore_prompt`` is only invoked on a cache miss, so a repeated
+        query skips the NVM read-back and autoencoder decode entirely.  It
+        must restore the soft prompt for ``ovt_index`` from the *current*
+        deployment — the cache key assumes it, and training (which changes
+        what each index restores to) clears the cache.
+        """
+        key = (text, ovt_index)
+        state = self._prefill_states.get(key)
+        if state is not None:
+            self._prefill_states.move_to_end(key)
+            self.prefill_hits += 1
+            return state
+        ids = self.tokenizer.encode(text)
+        state = prefill(self.model, ids, soft_prompt=restore_prompt())
+        self._prefill_states[key] = state
+        while len(self._prefill_states) > _MAX_PREFILL_STATES:
+            self._prefill_states.popitem(last=False)
+        return state
+
+    def prefill_cache_bytes(self) -> int:
+        """Approximate KV footprint of the cached prefill states."""
+        return sum(state.cache.memory_bytes()
+                   for state in self._prefill_states.values())
 
     def answer(self, input_text: str,
                generation: GenerationConfig | None = None) -> str:

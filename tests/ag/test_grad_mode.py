@@ -1,0 +1,72 @@
+"""Grad-mode state: no_grad() must be per-thread, not process-global.
+
+The serving engine decodes under no_grad() while training may run with
+gradients on another thread; a module-global flag would silently strip
+gradients from the training thread.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.ag import Tensor, is_grad_enabled, no_grad
+
+
+class TestThreadLocalGradMode:
+    def test_default_enabled(self):
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exit(self):
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_other_threads_keep_gradients(self):
+        """A thread training with gradients is unaffected by no_grad()
+        entered on the main thread."""
+        entered = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def train_thread():
+            entered.wait(timeout=5)
+            results["enabled"] = is_grad_enabled()
+            x = Tensor(np.ones(3), requires_grad=True)
+            y = (x * 2.0).sum()
+            results["requires_grad"] = y.requires_grad
+            y.backward()
+            results["grad"] = x.grad.copy()
+            release.set()
+
+        worker = threading.Thread(target=train_thread)
+        worker.start()
+        with no_grad():
+            entered.set()
+            assert release.wait(timeout=5)
+            assert not is_grad_enabled()      # main thread still inference
+        worker.join(timeout=5)
+        assert results["enabled"]
+        assert results["requires_grad"]
+        np.testing.assert_allclose(results["grad"], 2.0)
+
+    def test_main_no_grad_invisible_to_worker_tensor(self):
+        """Tensors built on a worker thread record graphs even while the
+        main thread sits inside no_grad()."""
+        built = {}
+
+        def build():
+            t = Tensor(np.ones(2), requires_grad=True)
+            built["requires_grad"] = (t * 3.0).requires_grad
+
+        with no_grad():
+            worker = threading.Thread(target=build)
+            worker.start()
+            worker.join(timeout=5)
+        assert built["requires_grad"]

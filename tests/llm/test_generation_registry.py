@@ -83,6 +83,16 @@ class TestGeneration:
         generate(model, np.array([1]), GenerationConfig(max_new_tokens=1))
         assert model.training
 
+    def test_sampling_large_vocab_stays_normalized(self):
+        """Probabilities are normalized in float64: float32 sums can miss
+        rng.choice's sum-to-1 tolerance on large vocabularies."""
+        from repro.llm.generation import _sample
+        rng = np.random.default_rng(488)
+        logits = rng.normal(0, 3, size=65536).astype(np.float32)
+        for seed in range(5):
+            idx = _sample(logits, 0.5, np.random.default_rng(seed))
+            assert 0 <= idx < logits.size
+
 
 class TestPretrain:
     def test_loss_decreases(self):

@@ -1,0 +1,280 @@
+"""Tests for incremental decoding: the KV cache and its equivalence.
+
+The one property everything rests on: decoding with the cache must emit
+token-for-token identical ids to the full-reforward reference loop, for
+every conditioning mode (plain, soft prompt, KV prefix, both) and for both
+greedy and seeded sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ag import Tensor
+from repro.llm import (
+    GenerationConfig,
+    KVCache,
+    TinyCausalLM,
+    decode_from,
+    generate,
+    prefill,
+)
+from repro.llm.attention import MultiHeadSelfAttention
+from repro.llm.transformer import LMConfig
+
+RNG = np.random.default_rng(9)
+
+
+def tiny_model(max_seq_len=48, seed=0):
+    return TinyCausalLM(LMConfig(vocab_size=23, d_model=16, n_heads=2,
+                                 n_layers=2, d_ff=24,
+                                 max_seq_len=max_seq_len), seed=seed)
+
+
+def make_prefix(model, length=3, seed=4):
+    rng = np.random.default_rng(seed)
+    heads = model.config.n_heads
+    d_head = model.config.d_model // heads
+    return [(Tensor(rng.normal(size=(1, heads, length, d_head))),
+             Tensor(rng.normal(size=(1, heads, length, d_head))))
+            for _ in range(model.config.n_layers)]
+
+
+def make_soft_prompt(model, rows=4, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 1.0, size=(rows, model.config.d_model)) \
+              .astype(np.float32)
+
+
+class TestAttentionPastKV:
+    def test_incremental_matches_full_last_position(self):
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(1, 6, 8)))
+        full = attn(x).data
+        first = Tensor(x.data[:, :5])
+        _, past = attn(first, use_cache=True)
+        step_out, new = attn(Tensor(x.data[:, 5:6]), past_kv=past,
+                             use_cache=True)
+        np.testing.assert_allclose(step_out.data[0, 0], full[0, 5], atol=1e-5)
+        assert new[0].shape == (1, 2, 6, 4)
+
+    def test_cache_excludes_prefix(self):
+        """The returned cache accumulates only real positions — the prefix
+        is constant conditioning the attention re-attaches every call."""
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(2))
+        x = Tensor(RNG.normal(size=(1, 4, 8)))
+        pk = Tensor(RNG.normal(size=(1, 2, 3, 4)))
+        pv = Tensor(RNG.normal(size=(1, 2, 3, 4)))
+        _, kv = attn(x, prefix_kv=(pk, pv), use_cache=True)
+        assert kv[0].shape[2] == 4                      # 4 tokens, no prefix
+
+    def test_prefix_and_past_compose(self):
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(3))
+        x = Tensor(RNG.normal(size=(1, 5, 8)))
+        prefix = (Tensor(RNG.normal(size=(1, 2, 3, 4))),
+                  Tensor(RNG.normal(size=(1, 2, 3, 4))))
+        full = attn(x, prefix_kv=prefix).data
+        _, past = attn(Tensor(x.data[:, :4]), prefix_kv=prefix,
+                       use_cache=True)
+        step, _ = attn(Tensor(x.data[:, 4:5]), prefix_kv=prefix,
+                       past_kv=past, use_cache=True)
+        np.testing.assert_allclose(step.data[0, 0], full[0, 4], atol=1e-5)
+
+    def test_past_shape_validated(self):
+        attn = MultiHeadSelfAttention(8, 2)
+        x = Tensor(RNG.normal(size=(1, 1, 8)))
+        bad = (Tensor(RNG.normal(size=(1, 3, 2, 4))),
+               Tensor(RNG.normal(size=(1, 3, 2, 4))))    # wrong head count
+        with pytest.raises(ValueError):
+            attn(x, past_kv=bad)
+
+    def test_causal_mask_with_past(self):
+        mask = MultiHeadSelfAttention._causal_mask(1, 2, past_len=5)
+        assert mask.shape == (1, 8)
+        assert not mask.any()                # one new token sees everything
+        mask = MultiHeadSelfAttention._causal_mask(2, 0, past_len=3)
+        assert mask.shape == (2, 5)
+        assert mask[0, 4] and not mask[1, 4]  # only own future blocked
+
+    def test_causal_mask_backward_compatible(self):
+        mask = MultiHeadSelfAttention._causal_mask(3, 2)
+        assert mask.shape == (3, 5)
+        assert not mask[:, :2].any()
+
+
+class TestKVCacheContainer:
+    def _cache(self, lengths=(4, 4)):
+        return KVCache([(Tensor(np.zeros((1, 2, t, 4))),
+                         Tensor(np.zeros((1, 2, t, 4)))) for t in lengths])
+
+    def test_properties(self):
+        cache = self._cache()
+        assert cache.n_layers == len(cache) == 2
+        assert cache.seq_len == 4
+        assert cache.batch_size == 1
+        assert cache.memory_bytes() == 2 * 2 * 1 * 2 * 4 * 4 * 4
+        assert "seq_len=4" in repr(cache)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            self._cache(lengths=(4, 5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache([])
+
+
+class TestModelPastKV:
+    def test_incremental_logits_match_full(self):
+        model = tiny_model()
+        ids = np.array([[3, 7, 1, 4, 9]])
+        full = model(ids).data
+        _, cache = model(ids[:, :3], use_cache=True)
+        for t in (3, 4):
+            logits, cache = model(ids[:, t:t + 1], past_kv=cache,
+                                  use_cache=True)
+            np.testing.assert_allclose(logits.data[0, 0], full[0, t],
+                                       atol=1e-4)
+        assert cache.seq_len == 5
+
+    def test_layer_count_checked(self):
+        model = tiny_model()
+        one_layer = KVCache([(Tensor(np.zeros((1, 2, 2, 8))),
+                              Tensor(np.zeros((1, 2, 2, 8))))])
+        with pytest.raises(ValueError):
+            model(np.array([[1]]), past_kv=one_layer)
+
+    def test_max_seq_len_includes_past(self):
+        model = tiny_model(max_seq_len=6)
+        _, cache = model(np.array([[1, 2, 3, 4, 5]]), use_cache=True)
+        model(np.array([[6]]), past_kv=cache, use_cache=True)  # fits: 6
+        _, cache = model(np.array([[6]]), past_kv=cache, use_cache=True)
+        with pytest.raises(ValueError):
+            model(np.array([[7]]), past_kv=cache)              # would be 7
+
+
+class TestGenerateEquivalence:
+    @pytest.mark.parametrize("temperature", [0.0, 0.9])
+    @pytest.mark.parametrize("conditioning",
+                             ["plain", "soft", "prefix", "both"])
+    def test_cached_matches_uncached(self, temperature, conditioning):
+        model = tiny_model(seed=2)
+        kwargs = {}
+        if conditioning in ("soft", "both"):
+            kwargs["soft_prompt"] = make_soft_prompt(model)
+        if conditioning in ("prefix", "both"):
+            kwargs["prefix_kv"] = make_prefix(model)
+        config = GenerationConfig(max_new_tokens=12, temperature=temperature,
+                                  seed=13)
+        reference = generate(model, np.array([2, 5, 8]), config,
+                             use_cache=False, **kwargs)
+        cached = generate(model, np.array([2, 5, 8]), config,
+                          use_cache=True, **kwargs)
+        np.testing.assert_array_equal(reference, cached)
+        assert reference.size == 12
+
+    def test_eos_stops_cached_path(self):
+        model = tiny_model()
+        greedy = GenerationConfig(max_new_tokens=1, temperature=0.0)
+        first = int(generate(model, np.array([1]), greedy)[0])
+        config = GenerationConfig(max_new_tokens=10, temperature=0.0,
+                                  eos_id=first)
+        assert generate(model, np.array([1]), config).size == 0
+
+    def test_budget_equivalence_near_context_edge(self):
+        """Both paths must stop at the same point near max_seq_len."""
+        model = tiny_model(max_seq_len=12)
+        config = GenerationConfig(max_new_tokens=100, temperature=0.0)
+        a = generate(model, np.arange(1, 6), config, use_cache=False)
+        b = generate(model, np.arange(1, 6), config, use_cache=True)
+        np.testing.assert_array_equal(a, b)
+        assert 5 + a.size == 12      # both fill the context exactly
+
+
+class TestOverlongPromptRejected:
+    @pytest.mark.parametrize("use_cache", [True, False])
+    def test_prompt_filling_context_raises(self, use_cache):
+        model = tiny_model(max_seq_len=8)
+        with pytest.raises(ValueError, match="no room to generate"):
+            generate(model, np.arange(1, 9), use_cache=use_cache)
+
+    @pytest.mark.parametrize("use_cache", [True, False])
+    def test_soft_prompt_counts_against_budget(self, use_cache):
+        model = tiny_model(max_seq_len=8)
+        soft = make_soft_prompt(model, rows=5)
+        with pytest.raises(ValueError, match="no room to generate"):
+            generate(model, np.arange(1, 4), soft_prompt=soft,
+                     use_cache=use_cache)
+
+    def test_prefill_rejects_overlong_prompt(self):
+        model = tiny_model(max_seq_len=8)
+        with pytest.raises(ValueError, match="no room to generate"):
+            prefill(model, np.arange(1, 9))
+
+    def test_one_token_of_room_is_accepted(self):
+        model = tiny_model(max_seq_len=8)
+        out = generate(model, np.arange(1, 8),
+                       GenerationConfig(max_new_tokens=5, temperature=0.0))
+        assert out.size == 1
+
+
+class TestPrefillDecodeAPI:
+    def test_state_reusable_across_decodes(self):
+        model = tiny_model()
+        soft = make_soft_prompt(model)
+        state = prefill(model, np.array([4, 2, 6]), soft_prompt=soft)
+        length_before = state.cache.seq_len
+        config = GenerationConfig(max_new_tokens=8, temperature=0.7, seed=3)
+        first = decode_from(model, state, config)
+        second = decode_from(model, state, config)
+        np.testing.assert_array_equal(first, second)
+        assert state.cache.seq_len == length_before   # state untouched
+
+    def test_different_seeds_diverge_from_one_prefill(self):
+        model = tiny_model()
+        state = prefill(model, np.array([4, 2, 6]))
+        outs = [decode_from(model, state,
+                            GenerationConfig(max_new_tokens=10,
+                                             temperature=1.5, seed=s))
+                for s in range(4)]
+        assert any(not np.array_equal(outs[0], o) for o in outs[1:])
+
+    def test_prefill_matches_generate(self):
+        model = tiny_model()
+        config = GenerationConfig(max_new_tokens=6, temperature=0.0)
+        state = prefill(model, np.array([1, 2, 3]))
+        assert state.n_tokens == 3 and state.virtual_len == 0
+        assert state.seq_len == 3
+        np.testing.assert_array_equal(
+            decode_from(model, state, config),
+            generate(model, np.array([1, 2, 3]), config))
+
+    def test_prefix_conditioning_recorded_on_state(self):
+        """decode_from re-attaches the prefix the prefill saw — the caller
+        cannot accidentally decode with mismatched conditioning."""
+        model = tiny_model()
+        prefix = make_prefix(model)
+        config = GenerationConfig(max_new_tokens=6, temperature=0.0)
+        state = prefill(model, np.array([1, 2, 3]), prefix_kv=prefix)
+        assert state.prefix_kv is prefix
+        np.testing.assert_array_equal(
+            decode_from(model, state, config),
+            generate(model, np.array([1, 2, 3]), config, prefix_kv=prefix))
+
+    def test_prefill_counts_soft_prompt_positions(self):
+        model = tiny_model()
+        state = prefill(model, np.array([1, 2]),
+                        soft_prompt=make_soft_prompt(model, rows=4))
+        assert state.virtual_len == 4
+        assert state.seq_len == 6
+
+    def test_empty_prompt_rejected(self):
+        with pytest.raises(ValueError):
+            prefill(tiny_model(), np.array([], dtype=np.int64))
+
+    def test_training_mode_restored(self):
+        model = tiny_model()
+        model.train()
+        state = prefill(model, np.array([1, 2]))
+        assert model.training
+        decode_from(model, state, GenerationConfig(max_new_tokens=2))
+        assert model.training

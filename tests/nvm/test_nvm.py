@@ -204,6 +204,17 @@ class TestCrossbarArray:
         assert stats.adc_conversions == 16
         assert stats.cell_reads == 32 * 16
 
+    def test_unquantized_readout_skips_adc(self):
+        """No ADC conversions are counted for an ideal analog readout —
+        counting them would inflate the energy model."""
+        xbar = self._array()
+        xbar.program(np.zeros((32, 16), dtype=np.int64))
+        xbar.matvec(np.ones(32), quantize_output=False)
+        assert xbar.stats.mvm_ops == 1
+        assert xbar.stats.adc_conversions == 0
+        xbar.matvec(np.ones(32), quantize_output=True)
+        assert xbar.stats.adc_conversions == 16
+
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             CrossbarArray(get_device("NVM-3"), rows=0, cols=8)

@@ -178,6 +178,11 @@ class TestBatching:
         requests = requests[::2] + requests[1::2]    # interleave users
 
         sequential = [trained_engine.query(r) for r in requests]
+        # Clear the prefill LRUs the sequential pass populated, so the
+        # batched pass prefills independently instead of decoding from the
+        # very states the sequential answers came from.
+        for uid in (0, 1, 2):
+            trained_engine.session(uid)._prefill_states.clear()
         batched = trained_engine.answer_batch(requests)
         assert [r.answer for r in batched] == [r.answer for r in sequential]
         assert [r.ovt_index for r in batched] == \
@@ -226,6 +231,107 @@ class TestBatching:
             user_id=0, text=stream_for(0, 1)[0].input_text,
             generation=fast_generation(tok)))
         assert response.backend == "CPU"
+
+
+class TestPrefillSharing:
+    def test_repeated_query_hits_prefill_cache(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        text = stream_for(0, 1)[0].input_text
+        generation = fast_generation(tok)
+        request = QueryRequest(user_id=0, text=text, generation=generation)
+        first = engine.query(request)
+        assert engine.stats()["prefill_hits"] == 0
+        second = engine.query(request)
+        assert engine.stats()["prefill_hits"] == 1
+        assert second.answer == first.answer
+        assert engine.stats()["prefill_cache_bytes"] > 0
+
+    def test_batch_shares_prefill_and_matches_sequential(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        text = stream_for(0, 1)[0].input_text
+        generation = fast_generation(tok)
+        requests = [QueryRequest(user_id=0, text=text, generation=generation,
+                                 request_id=f"q{i}") for i in range(4)]
+        batched = engine.answer_batch(requests)
+        # 4 identical prompts -> one prefill, three cache hits.
+        assert engine.stats()["prefill_hits"] == 3
+        # Sequential reference on an independently trained engine (same
+        # seeds -> same library/deployment), so the comparison does not
+        # just read back the cache the batch populated.
+        fresh = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        fresh.submit(TuneRequest(user_id=0,
+                                 samples=tuple(stream_for(0, 10))))
+        sequential = [fresh.query(r) for r in requests]
+        assert [r.answer for r in batched] == [r.answer for r in sequential]
+
+    def test_cache_hit_skips_prompt_restore(self, setup):
+        """On a prefill hit the NVM read-back is skipped entirely — the
+        restore callable must not be invoked."""
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        session = engine.session(0)
+        deployment = session.deployment()
+        calls = {"n": 0}
+
+        def restore():
+            calls["n"] += 1
+            return deployment.restored_prompt(0)
+
+        first = session.prefill_state("movie about robot tag", 0, restore)
+        second = session.prefill_state("movie about robot tag", 0, restore)
+        assert second is first
+        assert calls["n"] == 1
+
+    def test_prefill_hits_survive_eviction(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=1)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        request = QueryRequest(user_id=0,
+                               text=stream_for(0, 1)[0].input_text,
+                               generation=fast_generation(tok))
+        engine.query(request)
+        engine.query(request)
+        assert engine.stats()["prefill_hits"] == 1
+        engine.session(1)              # evicts user 0
+        assert engine.stats()["prefill_hits"] == 1   # monotonic counter
+
+    def test_training_invalidates_prefill_cache(self, setup):
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        text = stream_for(0, 1)[0].input_text
+        engine.query(QueryRequest(user_id=0, text=text,
+                                  generation=fast_generation(tok)))
+        session = engine.session(0)
+        assert len(session._prefill_states) == 1
+        # Another epoch restores different prompts: cached states are stale.
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10, seed=1))))
+        assert len(session._prefill_states) == 0
+
+    def test_adopt_library_invalidates_prefill_cache(self, setup):
+        model, tok = setup
+        donor = UserSession(1, model, tok, fast_config())
+        donor.extend(stream_for(1, 10, seed=1))
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        text = stream_for(0, 1)[0].input_text
+        engine.query(QueryRequest(user_id=0, text=text,
+                                  generation=fast_generation(tok)))
+        assert len(engine.session(0)._prefill_states) == 1
+        engine.load_session(0, donor.library)
+        assert len(engine.session(0)._prefill_states) == 0
 
 
 class TestUserSession:
