@@ -1,0 +1,176 @@
+"""Batched padded training forward vs the per-sample reference loop.
+
+Every ``tune`` request runs the prompt-tuning loop, and before batching it
+cost ``batch_size`` sequential forwards (and ``batch_size`` autograd graph
+constructions) per optimizer step.  The batched path pads the minibatch to
+a common length, masks the padded keys out of attention and the padded
+positions out of the loss, and runs **one** forward/backward per step.
+Both paths compute the mean of the per-sample losses, so the result is
+loss- and gradient-equivalent — the win is wall-clock only.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_tuning_batched.py          # timing
+    PYTHONPATH=src python benchmarks/bench_tuning_batched.py --smoke  # CI check
+
+The default (timing) mode measures one full training step (loss + backward
++ optimizer step) at batch_size=8 on the default registry model and fails
+unless the batched path is at least ``--min-speedup`` (3x) faster.  Smoke
+mode skips timing and checks loss/gradient agreement between the batched
+and per-sample paths across {soft prompt, KV prefix, noise-aware} on a
+ragged-length batch, so any padding/masking drift fails CI fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.ag import Adam, Parameter
+from repro.core.noise_training import NoiseInjectionConfig, NoiseInjector
+from repro.data import build_tokenizer, make_dataset, make_user
+from repro.llm import build_model
+from repro.tuning import (
+    prefix_loss_for_batch,
+    prompt_loss_for_batch,
+    freeze_model,
+    initial_prompt_matrix,
+)
+
+LOSS_TOL = 1e-5
+GRAD_TOL = 1e-5
+
+
+def ragged_samples(tokenizer, count: int):
+    """A minibatch drawn from several LaMP tasks so lengths differ."""
+    user = make_user(0, seed=0)
+    samples = []
+    for name in ("LaMP-1", "LaMP-2", "LaMP-3", "LaMP-5"):
+        samples.extend(make_dataset(name).generate(user, 2, seed=1))
+    while len(samples) < count:
+        samples.extend(samples)
+    return samples[:count]
+
+
+def build_prefixes(model, n_tokens: int, seed: int = 3):
+    cfg = model.config
+    d_head = cfg.d_model // cfg.n_heads
+    rng = np.random.default_rng(seed)
+    return [
+        (Parameter(rng.normal(0.0, 0.2, (1, cfg.n_heads, n_tokens, d_head))),
+         Parameter(rng.normal(0.0, 0.2, (1, cfg.n_heads, n_tokens, d_head))))
+        for _ in range(cfg.n_layers)
+    ]
+
+
+def run_timing(batch_size: int, steps: int, min_speedup: float) -> int:
+    tokenizer = build_tokenizer()
+    model = build_model("phi-2-sim", tokenizer.vocab_size)
+    samples = ragged_samples(tokenizer, batch_size)
+    init = initial_prompt_matrix(model, tokenizer, samples, 8,
+                                 np.random.default_rng(0))
+
+    def time_steps(batched: bool) -> float:
+        prompt = Parameter(init.copy())
+        optimizer = Adam([prompt], lr=0.05)
+        with freeze_model(model):
+            loss = prompt_loss_for_batch(model, prompt, samples, tokenizer,
+                                         batched=batched)  # warm-up pass
+            start = time.perf_counter()
+            for _ in range(steps):
+                optimizer.zero_grad()
+                loss = prompt_loss_for_batch(model, prompt, samples,
+                                             tokenizer, batched=batched)
+                loss.backward()
+                optimizer.step()
+            return (time.perf_counter() - start) / steps
+
+    t_sequential = time_steps(batched=False)
+    t_batched = time_steps(batched=True)
+    speedup = t_sequential / t_batched if t_batched > 0 else float("inf")
+    print(f"\n=== Batched prompt-tuning step: batch_size={batch_size}, "
+          f"{steps} steps ===")
+    print(f"sequential (per-sample forwards): {t_sequential * 1e3:9.1f} ms/step")
+    print(f"batched (one padded forward):     {t_batched * 1e3:9.1f} ms/step")
+    print(f"speedup:                          {speedup:9.1f}x")
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below required {min_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def run_smoke() -> int:
+    """Loss/grad agreement of batched vs per-sample paths; no timing."""
+    tokenizer = build_tokenizer()
+    model = build_model("gemma-2b-sim", tokenizer.vocab_size)
+    samples = ragged_samples(tokenizer, 8)
+    init = initial_prompt_matrix(model, tokenizer, samples, 8,
+                                 np.random.default_rng(0))
+    failures = 0
+
+    def check(label, loss_ref, loss_bat, grads_ref, grads_bat):
+        nonlocal failures
+        dloss = abs(float(loss_ref.data) - float(loss_bat.data))
+        dgrad = max(float(np.abs(a - b).max())
+                    for a, b in zip(grads_ref, grads_bat))
+        ok = dloss <= LOSS_TOL and dgrad <= GRAD_TOL
+        print(f"{'ok  ' if ok else 'FAIL'} {label}: "
+              f"dloss={dloss:.2e} dgrad={dgrad:.2e}")
+        failures += not ok
+
+    with freeze_model(model):
+        for label, transform_seed in (("soft prompt", None),
+                                      ("noise-aware", 11)):
+            grads, losses = [], []
+            for batched in (False, True):
+                prompt = Parameter(init.copy())
+                effective = prompt
+                if transform_seed is not None:
+                    injector = NoiseInjector(
+                        NoiseInjectionConfig(seed=transform_seed))
+                    effective = injector(prompt)
+                loss = prompt_loss_for_batch(model, effective, samples,
+                                             tokenizer, batched=batched)
+                loss.backward()
+                losses.append(loss)
+                grads.append([prompt.grad.copy()])
+            check(label, losses[0], losses[1], grads[0], grads[1])
+
+        grads, losses = [], []
+        for batched in (False, True):
+            prefixes = build_prefixes(model, 4)
+            loss = prefix_loss_for_batch(model, prefixes, samples, tokenizer,
+                                         batched=batched)
+            loss.backward()
+            losses.append(loss)
+            grads.append([p.grad.copy() for kv in prefixes for p in kv])
+        check("kv prefix", losses[0], losses[1], grads[0], grads[1])
+
+    if failures:
+        print(f"FAIL: {failures} batched-equivalence case(s) diverged")
+        return 1
+    print("OK: batched training forward matches the per-sample reference")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast equivalence-only check (for CI)")
+    parser.add_argument("--batch-size", type=int, default=8,
+                        help="minibatch size for the timing run")
+    parser.add_argument("--steps", type=int, default=10,
+                        help="optimizer steps to average over")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required batched-vs-sequential speedup")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    return run_timing(args.batch_size, args.steps, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

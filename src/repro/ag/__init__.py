@@ -5,7 +5,8 @@ tensors with recorded backward closures, module containers, common layers,
 activations/losses, and optimizers.
 """
 
-from .functional import cross_entropy, gelu, log_softmax, mse_loss, softmax
+from .functional import (cross_entropy, gelu, log_softmax, mse_loss,
+                         sequence_cross_entropy, softmax)
 from .layers import Dropout, Embedding, LayerNorm, Linear, Sequential
 from .module import Module, Parameter
 from .optim import Adam, LinearWarmupDecay, SGD, clip_grad_norm
@@ -15,6 +16,7 @@ __all__ = [
     "Tensor", "cat", "stack", "no_grad", "is_grad_enabled",
     "Module", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
-    "softmax", "log_softmax", "gelu", "cross_entropy", "mse_loss",
+    "softmax", "log_softmax", "gelu", "cross_entropy",
+    "sequence_cross_entropy", "mse_loss",
     "SGD", "Adam", "LinearWarmupDecay", "clip_grad_norm",
 ]

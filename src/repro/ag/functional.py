@@ -12,17 +12,32 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["softmax", "log_softmax", "gelu", "cross_entropy", "mse_loss"]
+__all__ = ["softmax", "log_softmax", "gelu", "cross_entropy",
+           "sequence_cross_entropy", "mse_loss"]
 
 _SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
 _GELU_COEFF = np.float32(0.044715)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+    """Numerically stable softmax along ``axis``.
+
+    Fused primitive (like :func:`cross_entropy`): attention calls this on
+    every layer of every forward, and the composed max/sub/exp/sum/div
+    version costs five graph nodes and five full-size temporaries per call.
+    """
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    value = shifted
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        inner = (grad * value).sum(axis=axis, keepdims=True)
+        x._accumulate(value * (grad - inner))
+
+    return Tensor._make(value, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -32,9 +47,25 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation, as in GPT-2)."""
-    inner = (x + x ** 3.0 * _GELU_COEFF) * _SQRT_2_OVER_PI
-    return x * (inner.tanh() + 1.0) * 0.5
+    """Gaussian error linear unit (tanh approximation, as in GPT-2).
+
+    Fused primitive: the composed version records eight graph nodes per
+    MLP, which dominates the training-step floor at these model sizes.
+    """
+    data = x.data
+    inner = _SQRT_2_OVER_PI * (data + _GELU_COEFF * (data * data * data))
+    tanh_inner = np.tanh(inner)
+    value = 0.5 * data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        sech2 = 1.0 - tanh_inner * tanh_inner
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_COEFF * (data * data))
+        x._accumulate(grad * (0.5 * (1.0 + tanh_inner)
+                              + 0.5 * data * sech2 * d_inner))
+
+    return Tensor._make(value, (x,), backward)
 
 
 def cross_entropy(
@@ -83,6 +114,67 @@ def cross_entropy(
         probs[np.arange(scores.shape[0]), safe_targets] -= 1.0
         probs[~valid] = 0.0
         logits._accumulate(probs * (float(grad) / count))
+
+    return Tensor._make(np.asarray(value), (logits,), backward)
+
+
+def sequence_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Mean over sequences of each sequence's mean token cross entropy.
+
+    This is the batched-training loss: every sequence counts equally
+    regardless of how many supervised tokens it has, so the result equals
+    the mean of per-sample :func:`cross_entropy` losses over the same batch
+    (padded positions carry ``ignore_index``).
+
+    Args:
+        logits: ``(B, T, V)`` unnormalised scores.
+        targets: ``(B, T)`` integer class ids.
+        ignore_index: targets equal to this id contribute no loss/gradient.
+
+    Returns:
+        A scalar tensor.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 3 or targets.ndim != 2 or logits.shape[:2] != targets.shape:
+        raise ValueError(
+            f"sequence_cross_entropy expects (B, T, V) logits and (B, T) "
+            f"targets, got {logits.shape} and {targets.shape}"
+        )
+    if ignore_index is not None:
+        valid = targets != ignore_index
+    else:
+        valid = np.ones_like(targets, dtype=bool)
+    counts = valid.sum(axis=1)
+    if np.any(counts == 0):
+        raise ValueError(
+            "sequence_cross_entropy received a sequence with no valid targets"
+        )
+
+    scores = logits.data
+    peak = scores.max(axis=-1, keepdims=True)
+    shifted = scores - peak
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1)) + peak[..., 0]
+    safe_targets = np.where(valid, targets, 0)
+    picked = np.take_along_axis(scores, safe_targets[..., None], axis=-1)[..., 0]
+    losses = np.where(valid, logsumexp - picked, 0.0)
+    per_sequence = losses.sum(axis=1) / counts
+    value = np.float32(per_sequence.mean())
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        batch, length, vocab = scores.shape
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        flat = probs.reshape(-1, vocab)
+        flat[np.arange(batch * length), safe_targets.reshape(-1)] -= 1.0
+        probs[~valid] = 0.0
+        scale = (float(grad) / batch) / counts
+        logits._accumulate(probs * scale[:, None, None].astype(np.float32))
 
     return Tensor._make(np.asarray(value), (logits,), backward)
 

@@ -104,7 +104,13 @@ class LinearWarmupDecay:
     """Linear warmup to the base lr, then linear decay to ``final_factor``.
 
     Matches the HuggingFace ``get_linear_schedule_with_warmup`` shape used by
-    the paper's prompt-tuning recipe.
+    the paper's prompt-tuning recipe.  The schedule is applied to the
+    optimizer at construction, so the *first* optimizer step already runs at
+    ``base_lr / warmup_steps`` — the usual step-then-schedule training loop
+    does not skip warmup.  Optimizer step ``k`` (1-indexed) runs at factor
+    ``k / warmup_steps`` through the warmup, peaks at 1.0 on step
+    ``warmup_steps``, and decays linearly to ``final_factor`` on step
+    ``total_steps``.
     """
 
     def __init__(self, optimizer: _Optimizer, warmup_steps: int, total_steps: int,
@@ -118,16 +124,19 @@ class LinearWarmupDecay:
         self.warmup_steps = warmup_steps
         self.total_steps = total_steps
         self.final_factor = final_factor
-        self._step_count = 0
+        self._step_count = 1
+        self.optimizer.lr = self.base_lr * self.current_factor()
 
     def current_factor(self) -> float:
         step = self._step_count
-        if self.warmup_steps and step < self.warmup_steps:
+        if self.warmup_steps and step <= self.warmup_steps:
             return step / self.warmup_steps
-        remaining = self.total_steps - self.warmup_steps
+        # Without warmup the peak is the first step, not a phantom step 0.
+        peak_step = max(self.warmup_steps, 1)
+        remaining = self.total_steps - peak_step
         if remaining <= 0:
             return 1.0
-        progress = min(1.0, (step - self.warmup_steps) / remaining)
+        progress = min(1.0, max(0.0, (step - peak_step) / remaining))
         return 1.0 + progress * (self.final_factor - 1.0)
 
     def step(self) -> None:

@@ -63,6 +63,34 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _pow_array(data: np.ndarray, exponent: float) -> np.ndarray:
+    """``data ** exponent`` with fast paths for the exponents on hot paths.
+
+    numpy's float-exponent ``power`` is a transcendental call per element;
+    the small exponents used by gelu (3), layernorm (-1/2) and division
+    (-1) reduce to multiplies and a sqrt, which is several times faster and
+    at least as accurate.
+    """
+    if exponent == 1.0:
+        return data.copy()   # never alias the operand's buffer
+    if exponent == 2.0:
+        return data * data
+    if exponent == 3.0:
+        return data * data * data
+    if exponent == 0.5:
+        return np.sqrt(data)
+    if exponent == -0.5:
+        return 1.0 / np.sqrt(data)
+    if exponent == -1.0:
+        return 1.0 / data
+    if exponent == -1.5:
+        sqrt = np.sqrt(data)
+        return 1.0 / (data * sqrt)
+    if exponent == -2.0:
+        return 1.0 / (data * data)
+    return data ** exponent
+
+
 class Tensor:
     """A numpy-backed tensor that supports reverse-mode differentiation."""
 
@@ -202,11 +230,12 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("only scalar exponents are supported")
-        value = self.data ** exponent
+        value = _pow_array(self.data, exponent)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
+                self._accumulate(grad * exponent
+                                 * _pow_array(self.data, exponent - 1.0))
 
         return Tensor._make(value, (self,), backward)
 
@@ -376,6 +405,21 @@ class Tensor:
                 self._accumulate(full)
 
         return Tensor._make(value, (self,), backward)
+
+    def broadcast_to(self, shape) -> "Tensor":
+        """Broadcast to ``shape``; gradients sum over the expanded axes.
+
+        This is how a single trained prompt (or KV prefix) is tiled across a
+        minibatch without copying parameters per sample.
+        """
+        shape = tuple(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, original))
+
+        return Tensor._make(np.broadcast_to(self.data, shape), (self,), backward)
 
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         """Replace entries where ``mask`` is true with ``value`` (constant)."""

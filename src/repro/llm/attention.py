@@ -61,6 +61,7 @@ class MultiHeadSelfAttention(Module):
         prefix_kv: KVPrefix | None = None,
         past_kv: KVPrefix | None = None,
         use_cache: bool = False,
+        key_padding_mask: np.ndarray | None = None,
     ) -> Tensor | tuple[Tensor, KVPrefix]:
         """Attend over ``x`` (batch, T, d_model), optionally over a prefix.
 
@@ -74,6 +75,11 @@ class MultiHeadSelfAttention(Module):
         ``use_cache=True`` the return value is ``(output, (k, v))`` where
         ``(k, v)`` extend ``past_kv`` with this call's positions — pass
         them back as the next step's ``past_kv``.
+
+        ``key_padding_mask`` is a boolean (batch, T_past + T) array, True at
+        padded token positions: those keys receive zero attention weight
+        from every query.  Prefix keys are trained conditioning and are
+        never padded, so the mask covers only the real token positions.
         """
         batch, length, _ = x.shape
         q = self._split_heads(self.q_proj(x), batch, length)
@@ -99,6 +105,17 @@ class MultiHeadSelfAttention(Module):
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
         mask = self._causal_mask(length, prefix_len, past_len)
+        if key_padding_mask is not None:
+            padded = np.asarray(key_padding_mask, dtype=bool)
+            if padded.shape != (batch, past_len + length):
+                raise ValueError(
+                    f"key_padding_mask shaped {padded.shape} incompatible "
+                    f"with batch {batch} and {past_len + length} token keys"
+                )
+            if prefix_len:
+                padded = np.concatenate(
+                    [np.zeros((batch, prefix_len), dtype=bool), padded], axis=1)
+            mask = mask[None, None, :, :] | padded[:, None, None, :]
         scores = scores.masked_fill(mask, _NEG_INF)
         weights = softmax(scores, axis=-1)
         context = weights @ v  # (batch, heads, T, d_head)

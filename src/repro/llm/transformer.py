@@ -66,9 +66,11 @@ class TransformerBlock(Module):
         prefix_kv: KVPrefix | None = None,
         past_kv: KVPrefix | None = None,
         use_cache: bool = False,
+        key_padding_mask: np.ndarray | None = None,
     ) -> Tensor | tuple[Tensor, KVPrefix]:
         attended = self.attn(self.ln1(x), prefix_kv=prefix_kv,
-                             past_kv=past_kv, use_cache=use_cache)
+                             past_kv=past_kv, use_cache=use_cache,
+                             key_padding_mask=key_padding_mask)
         present = None
         if use_cache:
             attended, present = attended
@@ -119,6 +121,7 @@ class TinyCausalLM(Module):
         prefix_kv: list[KVPrefix] | None = None,
         past_kv: KVCache | None = None,
         use_cache: bool = False,
+        key_padding_mask: np.ndarray | None = None,
     ) -> Tensor | tuple[Tensor, KVCache]:
         """Return logits of shape (batch, T, vocab).
 
@@ -131,6 +134,11 @@ class TinyCausalLM(Module):
         logical sequence (position embeddings offset accordingly).  With
         ``use_cache=True`` the return value is ``(logits, cache)`` where
         ``cache`` extends ``past_kv`` with the new positions.
+
+        ``key_padding_mask`` is a boolean (batch, T_past + T) array, True at
+        right-padded positions of a batched ragged input: padded keys get
+        zero attention weight in every layer, so real positions compute
+        exactly what they would in an unpadded per-sample forward.
         """
         if (token_ids is None) == (embeddings is None):
             raise ValueError("pass exactly one of token_ids or embeddings")
@@ -158,6 +166,13 @@ class TinyCausalLM(Module):
                 f"prefix_kv has {len(prefix_kv)} entries for "
                 f"{len(self.blocks)} layers"
             )
+        if key_padding_mask is not None:
+            key_padding_mask = np.asarray(key_padding_mask, dtype=bool)
+            if key_padding_mask.shape != (batch, past_len + length):
+                raise ValueError(
+                    f"key_padding_mask shaped {key_padding_mask.shape} "
+                    f"incompatible with ({batch}, {past_len + length}) inputs"
+                )
         positions = np.arange(past_len, past_len + length)
         x = embeddings + self.position_embedding(positions)
         present: list[KVPrefix] = []
@@ -167,6 +182,7 @@ class TinyCausalLM(Module):
                 prefix_kv=None if prefix_kv is None else prefix_kv[i],
                 past_kv=None if past_kv is None else past_kv.layer(i),
                 use_cache=use_cache,
+                key_padding_mask=key_padding_mask,
             )
             if use_cache:
                 x, layer_kv = x

@@ -199,8 +199,7 @@ class CiMSearchEngine:
         self._require_built()
         if not 0 <= index < self._count:
             raise IndexError(f"OVT index {index} out of range")
-        scale_one = self.config.scales[0]
-        if scale_one != 1:
+        if 1 not in self.config.scales:
             raise RuntimeError("restore requires the scale-1 store")
         if self.on_cim:
             matrix = self._scale_matrices[1].read_matrix()

@@ -12,7 +12,8 @@ from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 
 __all__ = ["VirtualTokens", "PromptArtifact", "TuningConfig",
-           "build_training_ids", "IGNORE_INDEX"]
+           "build_training_ids", "TrainingBatch", "build_training_batch",
+           "mean_loss", "IGNORE_INDEX"]
 
 IGNORE_INDEX = -100
 
@@ -74,6 +75,9 @@ class TuningConfig:
     warmup_fraction: float = 0.1
     anchor_weight: float = 10.0  # L2 pull toward the embedding-space init
     seed: int = 0
+    # One padded batched forward per optimizer step; False falls back to the
+    # loss-equivalent per-sample reference loop (kept for tests/debugging).
+    batched: bool = True
 
     def __post_init__(self):
         if self.n_virtual_tokens <= 0:
@@ -87,6 +91,15 @@ class TuningConfig:
 # A hook applied to the virtual-token tensor inside the forward pass.
 # Noise-aware training supplies one; plain training uses identity.
 PromptTransform = Callable[[Tensor], Tensor]
+
+
+def mean_loss(losses: list[Tensor]) -> Tensor:
+    """Mean of per-sample scalar losses — the ``batched=False`` reference
+    semantics every batched loss must reproduce."""
+    total = losses[0]
+    for item in losses[1:]:
+        total = total + item
+    return total * (1.0 / len(losses))
 
 
 def build_training_ids(
@@ -117,10 +130,56 @@ def make_target_vector(full_ids: np.ndarray, loss_positions: np.ndarray,
     ``prompt_len + T - 1``); position p predicts ``full_ids[p - prompt_len
     + 1]``.  Unsupervised positions get :data:`IGNORE_INDEX`.
     """
+    full_ids = np.asarray(full_ids)
+    loss_positions = np.asarray(loss_positions, dtype=bool)
     length = prompt_len + full_ids.size - 1
     targets = np.full(length, IGNORE_INDEX, dtype=np.int64)
-    for position in range(length):
-        j = position - prompt_len + 1
-        if 1 <= j < full_ids.size and loss_positions[j]:
-            targets[position] = full_ids[j]
+    supervised = np.nonzero(loss_positions[1:])[0] + 1
+    targets[prompt_len + supervised - 1] = full_ids[supervised]
     return targets
+
+
+@dataclass
+class TrainingBatch:
+    """A minibatch padded to a common length for one batched forward.
+
+    ``input_ids`` is (B, L) right-padded with the tokenizer's pad id;
+    ``key_padding_mask`` is (B, L), True at padded slots; ``targets`` is
+    (B, prompt_len + L) with :data:`IGNORE_INDEX` at prompt, unsupervised
+    and padded positions, aligned with the logits of a forward over
+    ``[prompt, input_ids]``.
+    """
+
+    input_ids: np.ndarray
+    key_padding_mask: np.ndarray
+    targets: np.ndarray
+    lengths: np.ndarray
+    prompt_len: int
+
+    @property
+    def batch_size(self) -> int:
+        return self.input_ids.shape[0]
+
+
+def build_training_batch(samples: list[Sample], tokenizer: Tokenizer,
+                         prompt_len: int = 0) -> TrainingBatch:
+    """Pad a minibatch of samples for one batched training forward."""
+    if not samples:
+        raise ValueError("training batch needs at least one sample")
+    if prompt_len < 0:
+        raise ValueError("prompt_len must be non-negative")
+    encoded = [build_training_ids(sample, tokenizer) for sample in samples]
+    lengths = np.array([ids.size - 1 for ids, _ in encoded], dtype=np.int64)
+    batch, max_len = len(encoded), int(lengths.max())
+    input_ids = np.full((batch, max_len), tokenizer.pad_id, dtype=np.int64)
+    key_padding_mask = np.ones((batch, max_len), dtype=bool)
+    targets = np.full((batch, prompt_len + max_len), IGNORE_INDEX,
+                      dtype=np.int64)
+    for i, (full_ids, loss_positions) in enumerate(encoded):
+        t = full_ids.size - 1
+        input_ids[i, :t] = full_ids[:-1]
+        key_padding_mask[i, :t] = False
+        targets[i, :prompt_len + t] = make_target_vector(
+            full_ids, loss_positions, prompt_len)
+    return TrainingBatch(input_ids, key_padding_mask, targets, lengths,
+                         prompt_len)

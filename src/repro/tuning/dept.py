@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ag import Parameter, Tensor, cat, cross_entropy
+from ..ag import Parameter, Tensor, cat, cross_entropy, sequence_cross_entropy
 from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
@@ -18,8 +18,10 @@ from .base import (
     PromptArtifact,
     TuningConfig,
     VirtualTokens,
+    build_training_batch,
     build_training_ids,
     make_target_vector,
+    mean_loss,
 )
 from .trainer import train_prompt_parameters
 from .vanilla import initial_prompt_matrix
@@ -68,12 +70,27 @@ class DEPTTuner:
             return cross_entropy(logits.reshape(-1, vocab), targets,
                                  ignore_index=IGNORE_INDEX)
 
+        def batch_loss(batch: list[Sample]) -> Tensor:
+            padded = build_training_batch(batch, self.tokenizer,
+                                          prompt_len=short_len)
+            size = padded.batch_size
+            delta_table = lora_a @ lora_b           # (V, d)
+            token_emb = (self.model.embed(padded.input_ids)
+                         + delta_table[padded.input_ids])
+            prompt_rows = prompt.reshape(1, short_len, cfg.d_model)
+            embeddings = cat(
+                [prompt_rows.broadcast_to((size, short_len, cfg.d_model)),
+                 token_emb], axis=1)
+            mask = np.concatenate([np.zeros((size, short_len), dtype=bool),
+                                   padded.key_padding_mask], axis=1)
+            logits = self.model(embeddings=embeddings, key_padding_mask=mask)
+            return sequence_cross_entropy(logits, padded.targets,
+                                          ignore_index=IGNORE_INDEX)
+
         def loss_fn(batch: list[Sample]) -> Tensor:
-            losses = [sample_loss(s) for s in batch]
-            total = losses[0]
-            for item in losses[1:]:
-                total = total + item
-            return total * (1.0 / len(losses))
+            if self.config.batched:
+                return batch_loss(batch)
+            return mean_loss([sample_loss(s) for s in batch])
 
         train_prompt_parameters(self.model, params, loss_fn, samples,
                                 self.config)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ag import Parameter, Tensor, cross_entropy, gelu
+from ..ag import Parameter, Tensor, cross_entropy, gelu, sequence_cross_entropy
 from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
@@ -17,12 +17,15 @@ from .base import (
     IGNORE_INDEX,
     PromptArtifact,
     TuningConfig,
+    build_training_batch,
     build_training_ids,
     make_target_vector,
+    mean_loss,
 )
 from .trainer import train_prompt_parameters
 
-__all__ = ["PrefixTuner", "prefix_loss_for_sample", "kv_prefix_tensors"]
+__all__ = ["PrefixTuner", "prefix_loss_for_sample", "prefix_loss_for_batch",
+           "kv_prefix_tensors"]
 
 
 def kv_prefix_tensors(raw: list[tuple[np.ndarray, np.ndarray]]):
@@ -41,6 +44,31 @@ def prefix_loss_for_sample(model: TinyCausalLM,
     vocab = logits.shape[-1]
     return cross_entropy(logits.reshape(-1, vocab), targets,
                          ignore_index=IGNORE_INDEX)
+
+
+def prefix_loss_for_batch(model: TinyCausalLM,
+                          prefix_kv: list[tuple[Tensor, Tensor]],
+                          samples: list[Sample], tokenizer: Tokenizer, *,
+                          batched: bool = True) -> Tensor:
+    """Mean per-sample LM loss of a minibatch under per-layer KV prefixes.
+
+    ``batched=True`` runs one padded forward with the (batch-1) prefixes
+    broadcast across the minibatch; ``batched=False`` keeps the per-sample
+    reference loop.  Both return the mean of the per-sample losses.
+    """
+    if not batched:
+        return mean_loss([prefix_loss_for_sample(model, prefix_kv, s,
+                                                 tokenizer)
+                          for s in samples])
+    batch = build_training_batch(samples, tokenizer, prompt_len=0)
+    size = batch.batch_size
+    tiled = [(k.broadcast_to((size,) + k.shape[1:]),
+              v.broadcast_to((size,) + v.shape[1:]))
+             for k, v in prefix_kv]
+    logits = model(batch.input_ids, prefix_kv=tiled,
+                   key_padding_mask=batch.key_padding_mask)
+    return sequence_cross_entropy(logits, batch.targets,
+                                  ignore_index=IGNORE_INDEX)
 
 
 class PrefixTuner:
@@ -83,14 +111,9 @@ class PrefixTuner:
             return prefixes
 
         def loss_fn(batch: list[Sample]) -> Tensor:
-            prefixes = materialise()
-            losses = [prefix_loss_for_sample(self.model, prefixes, s,
-                                             self.tokenizer)
-                      for s in batch]
-            total = losses[0]
-            for item in losses[1:]:
-                total = total + item
-            return total * (1.0 / len(losses))
+            return prefix_loss_for_batch(self.model, materialise(), batch,
+                                         self.tokenizer,
+                                         batched=self.config.batched)
 
         train_prompt_parameters(self.model, params, loss_fn, samples,
                                 self.config)

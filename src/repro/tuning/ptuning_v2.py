@@ -14,7 +14,7 @@ from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
 from .base import PromptArtifact, TuningConfig
-from .prefix import prefix_loss_for_sample
+from .prefix import prefix_loss_for_batch
 from .trainer import train_prompt_parameters
 
 __all__ = ["PTuningV2Tuner"]
@@ -57,14 +57,9 @@ class PTuningV2Tuner:
         ]
 
         def loss_fn(batch: list[Sample]) -> Tensor:
-            prefixes = self._project(prompts)
-            losses = [prefix_loss_for_sample(self.model, prefixes, s,
-                                             self.tokenizer)
-                      for s in batch]
-            total = losses[0]
-            for item in losses[1:]:
-                total = total + item
-            return total * (1.0 / len(losses))
+            return prefix_loss_for_batch(self.model, self._project(prompts),
+                                         batch, self.tokenizer,
+                                         batched=self.config.batched)
 
         train_prompt_parameters(self.model, prompts, loss_fn, samples,
                                 self.config)

@@ -9,6 +9,7 @@ inside every forward pass (Eq. 4 of the paper).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -20,23 +21,46 @@ from .base import TuningConfig
 
 __all__ = ["freeze_model", "train_prompt_parameters"]
 
+# Freeze state is refcounted per model so concurrent tunes sharing one base
+# model compose: the first freeze saves the flags, the last unfreeze
+# restores them.  Without this, the first tune to finish would re-enable
+# base-model gradients mid-backward for every other in-flight tune.
+_FREEZE_LOCK = threading.Lock()
+_FREEZE_STATES: dict[int, dict] = {}
+
 
 @contextlib.contextmanager
 def freeze_model(model: TinyCausalLM):
     """Temporarily mark all model parameters as non-trainable.
 
     This both protects the base model during prompt tuning and prunes the
-    autograd graph (frozen branches record no backward closures).
+    autograd graph (frozen branches record no backward closures).  Freezing
+    is re-entrant and thread-safe: nested or concurrent freezes of the same
+    model stack, and the original ``requires_grad`` flags come back only
+    when the outermost/last context exits.
     """
-    params = model.parameters()
-    previous = [p.requires_grad for p in params]
-    for p in params:
-        p.requires_grad = False
+    key = id(model)
+    with _FREEZE_LOCK:
+        state = _FREEZE_STATES.get(key)
+        if state is None:
+            params = model.parameters()
+            state = _FREEZE_STATES[key] = {
+                "count": 0,
+                "params": params,
+                "flags": [p.requires_grad for p in params],
+            }
+            for p in params:
+                p.requires_grad = False
+        state["count"] += 1
     try:
         yield
     finally:
-        for p, flag in zip(params, previous):
-            p.requires_grad = flag
+        with _FREEZE_LOCK:
+            state["count"] -= 1
+            if state["count"] == 0:
+                for p, flag in zip(state["params"], state["flags"]):
+                    p.requires_grad = flag
+                _FREEZE_STATES.pop(key, None)
 
 
 def train_prompt_parameters(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ag import Parameter, Tensor, cat, cross_entropy
+from ..ag import Parameter, Tensor, cat, cross_entropy, sequence_cross_entropy
 from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
@@ -19,12 +19,15 @@ from .base import (
     PromptTransform,
     TuningConfig,
     VirtualTokens,
+    build_training_batch,
     build_training_ids,
     make_target_vector,
+    mean_loss,
 )
 from .trainer import train_prompt_parameters
 
-__all__ = ["VanillaPromptTuner", "prompt_loss_for_sample"]
+__all__ = ["VanillaPromptTuner", "prompt_loss_for_sample",
+           "prompt_loss_for_batch"]
 
 
 def initial_prompt_matrix(model: TinyCausalLM, tokenizer: Tokenizer,
@@ -61,6 +64,35 @@ def prompt_loss_for_sample(model: TinyCausalLM, prompt: Tensor,
                          ignore_index=IGNORE_INDEX)
 
 
+def prompt_loss_for_batch(model: TinyCausalLM, prompt: Tensor,
+                          samples: list[Sample], tokenizer: Tokenizer, *,
+                          batched: bool = True) -> Tensor:
+    """Mean per-sample LM loss of a minibatch conditioned on a soft prompt.
+
+    With ``batched=True`` the whole minibatch runs as one padded forward
+    (padded keys masked out of attention, padded targets out of the loss);
+    ``batched=False`` keeps the per-sample reference loop.  Both return the
+    mean of the per-sample losses.
+    """
+    if not batched:
+        return mean_loss([prompt_loss_for_sample(model, prompt, s, tokenizer)
+                          for s in samples])
+    n_tokens, d_model = prompt.shape
+    batch = build_training_batch(samples, tokenizer, prompt_len=n_tokens)
+    size = batch.batch_size
+    token_emb = model.embed(batch.input_ids)
+    prompt_rows = prompt.reshape(1, n_tokens, d_model)
+    embeddings = cat([prompt_rows.broadcast_to((size, n_tokens, d_model)),
+                      token_emb], axis=1)
+    # Prompt columns are real conditioning for every row; only the ragged
+    # token tail is padded.
+    mask = np.concatenate([np.zeros((size, n_tokens), dtype=bool),
+                           batch.key_padding_mask], axis=1)
+    logits = model(embeddings=embeddings, key_padding_mask=mask)
+    return sequence_cross_entropy(logits, batch.targets,
+                                  ignore_index=IGNORE_INDEX)
+
+
 class VanillaPromptTuner:
     """Trains a soft prompt over a set of samples."""
 
@@ -87,13 +119,9 @@ class VanillaPromptTuner:
 
         def loss_fn(batch: list[Sample]) -> Tensor:
             effective = prompt if transform is None else transform(prompt)
-            losses = [prompt_loss_for_sample(self.model, effective, s,
-                                             self.tokenizer)
-                      for s in batch]
-            total = losses[0]
-            for item in losses[1:]:
-                total = total + item
-            total = total * (1.0 / len(losses))
+            total = prompt_loss_for_batch(self.model, effective, batch,
+                                          self.tokenizer,
+                                          batched=self.config.batched)
             if self.config.anchor_weight > 0:
                 drift = prompt - anchor
                 total = total + (drift * drift).mean() * self.config.anchor_weight

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.ag import Tensor, cross_entropy, gelu, log_softmax, mse_loss, softmax
+from repro.ag import (Tensor, cross_entropy, gelu, log_softmax, mse_loss,
+                      sequence_cross_entropy, softmax)
 from tests.ag.gradcheck import check_gradient
 
 RNG = np.random.default_rng(11)
@@ -93,6 +94,59 @@ class TestCrossEntropy:
         logits[1, 2] = 20.0
         loss = cross_entropy(Tensor(logits), np.array([1, 2]))
         assert loss.data < 1e-4
+
+
+class TestSequenceCrossEntropy:
+    def test_matches_mean_of_per_sample_losses(self):
+        """The batched loss must equal the mean of per-sequence
+        cross_entropy over the same (ragged) batch."""
+        logits = RNG.normal(size=(3, 6, 5)).astype(np.float32)
+        targets = np.full((3, 6), -100, dtype=np.int64)
+        targets[0, :4] = [1, 0, 3, 2]
+        targets[1, :2] = [4, 4]
+        targets[2, :6] = [0, 1, 2, 3, 4, 0]
+        loss = sequence_cross_entropy(Tensor(logits), targets,
+                                      ignore_index=-100)
+        per_sample = [
+            float(cross_entropy(Tensor(logits[i]), targets[i],
+                                ignore_index=-100).data)
+            for i in range(3)
+        ]
+        np.testing.assert_allclose(float(loss.data), np.mean(per_sample),
+                                   rtol=1e-6)
+
+    def test_gradient_matches_per_sample_backward(self):
+        logits = Tensor(RNG.normal(size=(2, 4, 5)), requires_grad=True)
+        targets = np.array([[1, 2, -100, -100], [0, 4, 3, 1]])
+        sequence_cross_entropy(logits, targets, ignore_index=-100).backward()
+        reference = np.zeros_like(logits.data)
+        for i in range(2):
+            row = Tensor(logits.data[i], requires_grad=True)
+            cross_entropy(row, targets[i], ignore_index=-100).backward()
+            reference[i] = row.grad / 2.0     # mean over the batch
+        np.testing.assert_allclose(logits.grad, reference, rtol=1e-5,
+                                   atol=1e-7)
+
+    def test_ignored_positions_get_zero_gradient(self):
+        logits = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        targets = np.array([[0, -100, 2], [-100, 1, 3]])
+        sequence_cross_entropy(logits, targets, ignore_index=-100).backward()
+        np.testing.assert_allclose(logits.grad[0, 1], np.zeros(4))
+        np.testing.assert_allclose(logits.grad[1, 0], np.zeros(4))
+
+    def test_sequence_with_no_valid_targets_raises(self):
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(Tensor(np.zeros((2, 3, 4))),
+                                   np.array([[0, 1, 2], [-1, -1, -1]]),
+                                   ignore_index=-1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(Tensor(np.zeros((2, 3))),
+                                   np.array([0, 1]))
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(Tensor(np.zeros((2, 3, 4))),
+                                   np.array([[0, 1], [2, 3]]))
 
 
 class TestMseLoss:

@@ -78,16 +78,37 @@ class TestScheduler:
         sched = LinearWarmupDecay(opt, warmup_steps=10, total_steps=100)
         lrs = []
         for _ in range(100):
+            lrs.append(opt.lr)      # lr this optimizer step runs at
             sched.step()
-            lrs.append(opt.lr)
+        assert abs(lrs[0] - 0.1) < 1e-9           # warmup from the first step
         assert lrs[4] < lrs[9]                    # warming up
         assert abs(lrs[9] - 1.0) < 1e-9           # peak at end of warmup
-        assert lrs[50] > lrs[99]                  # decaying
-        assert abs(lrs[99]) < 1e-6                # decays to ~0
+        assert lrs[50] > lrs[98]                  # decaying
+        assert abs(lrs[99]) < 1e-9                # decayed to 0 at the end
+
+    def test_first_step_not_skipped(self):
+        """The factor applies at construction: the usual optimizer.step()
+        -> scheduler.step() loop must not run step 1 at full base lr."""
+        opt = Adam([Parameter(np.zeros(1))], lr=1.0)
+        LinearWarmupDecay(opt, warmup_steps=4, total_steps=10)
+        assert abs(opt.lr - 0.25) < 1e-9
+
+    def test_full_trajectory_warmup2_total6(self):
+        """Exact lr for every optimizer step of a warmup=2, total=6 run."""
+        base_lr = 0.8
+        opt = Adam([Parameter(np.zeros(1))], lr=base_lr)
+        sched = LinearWarmupDecay(opt, warmup_steps=2, total_steps=6)
+        seen = []
+        for _ in range(6):
+            seen.append(opt.lr)
+            sched.step()
+        expected = [base_lr * f for f in (0.5, 1.0, 0.75, 0.5, 0.25, 0.0)]
+        np.testing.assert_allclose(seen, expected, rtol=1e-12)
 
     def test_no_warmup(self):
         opt = Adam([Parameter(np.zeros(1))], lr=2.0)
         sched = LinearWarmupDecay(opt, warmup_steps=0, total_steps=4)
+        assert opt.lr == 2.0      # no warmup: first step at full base lr
         sched.step()
         assert opt.lr < 2.0
 

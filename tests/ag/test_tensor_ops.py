@@ -151,6 +151,21 @@ class TestShapeOps:
         x.swapaxes(0, 2).sum().backward()
         np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
 
+    def test_broadcast_to_values(self):
+        x = Tensor(RNG.normal(size=(1, 3)))
+        out = x.broadcast_to((4, 3))
+        np.testing.assert_allclose(out.data, np.broadcast_to(x.data, (4, 3)))
+
+    def test_broadcast_to_gradient_sums_over_batch(self):
+        x = Tensor(RNG.normal(size=(1, 3)), requires_grad=True)
+        (x.broadcast_to((5, 3)) * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 3), 10.0))
+
+    def test_broadcast_to_gradcheck(self):
+        weights = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda t: t.broadcast_to((4, 2)) * weights,
+                       RNG.normal(size=(1, 2)))
+
     def test_getitem_slice_gradient(self):
         x = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
         x[1:3].sum().backward()

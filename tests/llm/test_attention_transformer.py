@@ -71,6 +71,35 @@ class TestAttention:
         assert mask[0, 3] and mask[0, 4]        # future blocked
         assert not mask[2, 4]                   # self visible
 
+    def test_key_padding_mask_matches_unpadded_forward(self):
+        """Real positions of a right-padded input compute exactly what the
+        shorter unpadded forward would."""
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(4))
+        x = RNG.normal(size=(1, 5, 8)).astype(np.float32)
+        short = attn(Tensor(x[:, :3])).data
+        mask = np.array([[False, False, False, True, True]])
+        padded = attn(Tensor(x), key_padding_mask=mask).data
+        np.testing.assert_allclose(padded[0, :3], short[0], atol=1e-6)
+
+    def test_key_padding_mask_composes_with_prefix(self):
+        attn = MultiHeadSelfAttention(8, 2, rng=np.random.default_rng(5))
+        prefix = (Tensor(RNG.normal(size=(1, 2, 3, 4))),
+                  Tensor(RNG.normal(size=(1, 2, 3, 4))))
+        x = RNG.normal(size=(1, 6, 8)).astype(np.float32)
+        short = attn(Tensor(x[:, :4]), prefix_kv=prefix).data
+        mask = np.array([[False] * 4 + [True] * 2])
+        padded = attn(Tensor(x), prefix_kv=prefix,
+                      key_padding_mask=mask).data
+        np.testing.assert_allclose(padded[0, :4], short[0], atol=1e-6)
+
+    def test_key_padding_mask_shape_checked(self):
+        attn = MultiHeadSelfAttention(8, 2)
+        x = Tensor(RNG.normal(size=(2, 4, 8)))
+        with pytest.raises(ValueError):
+            attn(x, key_padding_mask=np.zeros((2, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            attn(x, key_padding_mask=np.zeros((1, 4), dtype=bool))
+
 
 class TestLMConfig:
     def test_validation(self):

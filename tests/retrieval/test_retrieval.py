@@ -148,6 +148,24 @@ class TestCiMSearchEngine:
         assert restored.shape == ovts[1].shape
         np.testing.assert_allclose(restored, ovts[1], atol=0.02)
 
+    def test_restore_works_when_scale_one_not_first(self):
+        """Regression: restore used to require scales[0] == 1, wrongly
+        failing configs where the scale-1 store exists later in the tuple."""
+        config = SearchConfig(scales=(2, 1, 4), weights=(0.8, 1.0, 0.6))
+        ovts = self._ovts(3)
+        engine = self._engine(sigma=0.0, config=config)
+        engine.build(ovts)
+        restored = engine.restore(2)
+        assert restored.shape == ovts[2].shape
+        np.testing.assert_allclose(restored, ovts[2], atol=0.02)
+
+    def test_restore_without_scale_one_store_rejected(self):
+        config = SearchConfig(scales=(2, 4), weights=(1.0, 0.8))
+        engine = self._engine(sigma=0.0, config=config)
+        engine.build(self._ovts(2))
+        with pytest.raises(RuntimeError):
+            engine.restore(0)
+
     def test_restore_noise_grows_with_sigma(self):
         ovts = self._ovts(3)
         errors = []

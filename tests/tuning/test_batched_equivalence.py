@@ -1,0 +1,236 @@
+"""Batched padded training forwards must match the per-sample reference.
+
+The matrix: {vanilla soft prompt, noise-aware} x {uniform, ragged lengths}
+x {with/without prefix-KV}, checking both loss values and prompt-parameter
+gradients, plus the padding-mask semantics the equivalence rests on
+(padded keys get zero attention weight; padded positions contribute no
+loss or gradient).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ag import Parameter, Tensor, softmax
+from repro.core.noise_training import NoiseInjectionConfig, NoiseInjector
+from repro.data import build_tokenizer, make_dataset, make_user
+from repro.llm import build_model
+from repro.llm.attention import MultiHeadSelfAttention
+from repro.tuning import (
+    DEPTTuner,
+    IGNORE_INDEX,
+    TuningConfig,
+    VanillaPromptTuner,
+    build_training_batch,
+    build_training_ids,
+    freeze_model,
+    initial_prompt_matrix,
+    make_target_vector,
+    prefix_loss_for_batch,
+    prompt_loss_for_batch,
+)
+
+LOSS_TOL = 1e-5
+GRAD_TOL = 1e-5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    model = build_model("phi-2-sim", tok.vocab_size)
+    user = make_user(0, seed=0)
+    uniform = make_dataset("LaMP-2").generate(user, 6, seed=1)
+    ragged = []
+    for name in ("LaMP-1", "LaMP-2", "LaMP-3", "LaMP-5"):
+        ragged.extend(make_dataset(name).generate(user, 2, seed=1))
+    lengths = {build_training_ids(s, tok)[0].size for s in ragged}
+    assert len(lengths) > 1, "ragged fixture must mix sequence lengths"
+    return model, tok, uniform, ragged
+
+
+def _prompt_init(model, tok, samples):
+    return initial_prompt_matrix(model, tok, samples, 8,
+                                 np.random.default_rng(0))
+
+
+def _prefixes(model, n_tokens=4, seed=3):
+    cfg = model.config
+    d_head = cfg.d_model // cfg.n_heads
+    rng = np.random.default_rng(seed)
+    return [
+        (Parameter(rng.normal(0.0, 0.2, (1, cfg.n_heads, n_tokens, d_head))),
+         Parameter(rng.normal(0.0, 0.2, (1, cfg.n_heads, n_tokens, d_head))))
+        for _ in range(cfg.n_layers)
+    ]
+
+
+class TestLossAndGradientEquivalence:
+    @pytest.mark.parametrize("lengths", ["uniform", "ragged"])
+    @pytest.mark.parametrize("noise_seed", [None, 11],
+                             ids=["vanilla", "noise-aware"])
+    def test_soft_prompt(self, setup, lengths, noise_seed):
+        model, tok, uniform, ragged = setup
+        samples = uniform if lengths == "uniform" else ragged
+        init = _prompt_init(model, tok, samples)
+        results = []
+        with freeze_model(model):
+            for batched in (False, True):
+                prompt = Parameter(init.copy())
+                effective = prompt
+                if noise_seed is not None:
+                    effective = NoiseInjector(
+                        NoiseInjectionConfig(seed=noise_seed))(prompt)
+                loss = prompt_loss_for_batch(model, effective, samples, tok,
+                                             batched=batched)
+                loss.backward()
+                results.append((float(loss.data), prompt.grad.copy()))
+        (loss_ref, grad_ref), (loss_bat, grad_bat) = results
+        assert abs(loss_ref - loss_bat) <= LOSS_TOL
+        np.testing.assert_allclose(grad_bat, grad_ref, atol=GRAD_TOL)
+
+    @pytest.mark.parametrize("lengths", ["uniform", "ragged"])
+    def test_with_prefix_kv(self, setup, lengths):
+        model, tok, uniform, ragged = setup
+        samples = uniform if lengths == "uniform" else ragged
+        results = []
+        with freeze_model(model):
+            for batched in (False, True):
+                prefixes = _prefixes(model)
+                loss = prefix_loss_for_batch(model, prefixes, samples, tok,
+                                             batched=batched)
+                loss.backward()
+                results.append((float(loss.data),
+                                [p.grad.copy() for kv in prefixes
+                                 for p in kv]))
+        (loss_ref, grads_ref), (loss_bat, grads_bat) = results
+        assert abs(loss_ref - loss_bat) <= LOSS_TOL
+        for ref, bat in zip(grads_ref, grads_bat):
+            np.testing.assert_allclose(bat, ref, atol=GRAD_TOL)
+
+    def test_full_training_run_equivalence(self, setup):
+        """End to end: batched and reference training walk the same
+        optimisation trajectory and land on the same prompt."""
+        model, tok, _, ragged = setup
+        artifacts = {}
+        for batched in (False, True):
+            config = TuningConfig(steps=5, lr=0.05, seed=0, batched=batched)
+            artifacts[batched] = VanillaPromptTuner(model, tok, config).fit(
+                ragged)
+        np.testing.assert_allclose(artifacts[True].soft_prompt.matrix,
+                                   artifacts[False].soft_prompt.matrix,
+                                   atol=1e-4)
+
+    def test_dept_training_run_equivalence(self, setup):
+        """DEPT's batched loss (delta-table gather + broadcast prompt) must
+        walk the same trajectory as its per-sample reference."""
+        model, tok, _, ragged = setup
+        artifacts = {}
+        for batched in (False, True):
+            config = TuningConfig(steps=3, lr=0.05, seed=0, batched=batched)
+            artifacts[batched] = DEPTTuner(model, tok, config).fit(ragged)
+        np.testing.assert_allclose(artifacts[True].soft_prompt.matrix,
+                                   artifacts[False].soft_prompt.matrix,
+                                   atol=1e-4)
+        np.testing.assert_allclose(artifacts[True].embedding_delta,
+                                   artifacts[False].embedding_delta,
+                                   atol=1e-4)
+
+
+class TestPaddingMaskSemantics:
+    def test_padded_keys_get_zero_attention_weight(self):
+        attn = MultiHeadSelfAttention(16, 2, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 6, 16)))
+        mask = np.zeros((2, 6), dtype=bool)
+        mask[0, 4:] = True
+        mask[1, 3:] = True
+        # Recompute the attention weights exactly as forward() does.
+        batch, length, _ = x.shape
+        q = attn._split_heads(attn.q_proj(x), batch, length)
+        k = attn._split_heads(attn.k_proj(x), batch, length)
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(attn.d_head))
+        full = (attn._causal_mask(length, 0)[None, None]
+                | mask[:, None, None, :])
+        weights = softmax(scores.masked_fill(full, -1e9), axis=-1).data
+        assert np.all(weights[0, :, :, 4:] == 0.0)
+        assert np.all(weights[1, :, :, 3:] == 0.0)
+        sums = weights.sum(axis=-1)
+        np.testing.assert_allclose(sums, np.ones_like(sums), rtol=1e-5)
+
+    def test_real_positions_unaffected_by_padding(self, setup):
+        """Logits of real positions in a padded batched forward equal the
+        per-sample unpadded forward, regardless of the pad filler id."""
+        model, tok, _, ragged = setup
+        batch = build_training_batch(ragged, tok)
+        logits = model(batch.input_ids,
+                       key_padding_mask=batch.key_padding_mask).data
+        for i, sample in enumerate(ragged):
+            t = int(batch.lengths[i])
+            alone = model(batch.input_ids[i, :t][None, :]).data[0]
+            np.testing.assert_allclose(logits[i, :t], alone, atol=1e-5)
+
+    def test_loss_invariant_to_pad_filler_id(self, setup):
+        model, tok, _, ragged = setup
+        init = _prompt_init(model, tok, ragged)
+        losses, grads = [], []
+        with freeze_model(model):
+            for filler in (tok.pad_id, 7):
+                batch = build_training_batch(ragged, tok, prompt_len=8)
+                ids = np.where(batch.key_padding_mask, filler,
+                               batch.input_ids)
+                prompt = Parameter(init.copy())
+                size, n_tokens = batch.batch_size, 8
+                emb = model.embed(ids)
+                rows = prompt.reshape(1, n_tokens, model.config.d_model)
+                from repro.ag import cat, sequence_cross_entropy
+                full = cat([rows.broadcast_to(
+                    (size, n_tokens, model.config.d_model)), emb], axis=1)
+                mask = np.concatenate(
+                    [np.zeros((size, n_tokens), dtype=bool),
+                     batch.key_padding_mask], axis=1)
+                loss = sequence_cross_entropy(
+                    model(embeddings=full, key_padding_mask=mask),
+                    batch.targets, ignore_index=IGNORE_INDEX)
+                loss.backward()
+                losses.append(float(loss.data))
+                grads.append(prompt.grad.copy())
+        assert losses[0] == pytest.approx(losses[1], abs=1e-6)
+        np.testing.assert_allclose(grads[0], grads[1], atol=1e-6)
+
+    def test_padded_positions_carry_ignore_index_targets(self, setup):
+        _, tok, _, ragged = setup
+        batch = build_training_batch(ragged, tok, prompt_len=3)
+        for i in range(batch.batch_size):
+            t = int(batch.lengths[i])
+            assert np.all(batch.targets[i, 3 + t:] == IGNORE_INDEX)
+            assert np.all(batch.targets[i, :3] == IGNORE_INDEX)
+            assert np.any(batch.targets[i] != IGNORE_INDEX)
+
+    def test_mask_shape_validated(self, setup):
+        model, tok, _, ragged = setup
+        batch = build_training_batch(ragged, tok)
+        with pytest.raises(ValueError):
+            model(batch.input_ids,
+                  key_padding_mask=batch.key_padding_mask[:, :-1])
+
+
+class TestBuildTrainingBatch:
+    def test_matches_per_sample_plumbing(self, setup):
+        _, tok, _, ragged = setup
+        prompt_len = 5
+        batch = build_training_batch(ragged, tok, prompt_len=prompt_len)
+        for i, sample in enumerate(ragged):
+            full_ids, loss_positions = build_training_ids(sample, tok)
+            t = full_ids.size - 1
+            assert int(batch.lengths[i]) == t
+            np.testing.assert_array_equal(batch.input_ids[i, :t],
+                                          full_ids[:-1])
+            assert not batch.key_padding_mask[i, :t].any()
+            assert batch.key_padding_mask[i, t:].all()
+            expected = make_target_vector(full_ids, loss_positions,
+                                          prompt_len)
+            np.testing.assert_array_equal(batch.targets[i, :expected.size],
+                                          expected)
+
+    def test_empty_batch_rejected(self, setup):
+        _, tok, _, _ = setup
+        with pytest.raises(ValueError):
+            build_training_batch([], tok)

@@ -1,0 +1,90 @@
+"""freeze_model must be re-entrant: the serving engine runs concurrent
+tune calls on threads sharing one base model, and the first tune to exit
+must not re-enable base-model gradients while another is mid-backward.
+
+Mirrors the thread-isolation style of tests/ag/test_grad_mode.py.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.data import build_tokenizer, make_dataset, make_user
+from repro.llm import build_model
+from repro.tuning import TuningConfig, VanillaPromptTuner, freeze_model
+
+
+def _tiny_model():
+    tok = build_tokenizer()
+    return build_model("phi-2-sim", tok.vocab_size), tok
+
+
+class TestReentrantFreeze:
+    def test_nested_freeze_single_thread(self):
+        model, _ = _tiny_model()
+        flags = [p.requires_grad for p in model.parameters()]
+        with freeze_model(model):
+            assert not any(p.requires_grad for p in model.parameters())
+            with freeze_model(model):
+                assert not any(p.requires_grad for p in model.parameters())
+            # Inner exit must NOT restore while the outer context is live.
+            assert not any(p.requires_grad for p in model.parameters())
+        assert [p.requires_grad for p in model.parameters()] == flags
+
+    def test_overlapping_freezes_across_threads(self):
+        """First thread exits while the second still trains: the model must
+        stay frozen until the last freeze releases."""
+        model, _ = _tiny_model()
+        a_inside = threading.Event()
+        a_release = threading.Event()
+        a_exited = threading.Event()
+        observed = {}
+
+        def first_tune():
+            with freeze_model(model):
+                a_inside.set()
+                a_release.wait(timeout=5)
+            a_exited.set()
+
+        worker = threading.Thread(target=first_tune)
+        worker.start()
+        assert a_inside.wait(timeout=5)
+        with freeze_model(model):            # second, overlapping tune
+            a_release.set()                  # let the first one exit...
+            assert a_exited.wait(timeout=5)
+            # ...and the base model must still be frozen for us.
+            observed["still_frozen"] = not any(
+                p.requires_grad for p in model.parameters())
+        worker.join(timeout=5)
+        assert observed["still_frozen"]
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_concurrent_tunes_record_no_base_model_grads(self):
+        """Two full prompt-tuning runs in parallel on one shared model:
+        neither run may leave gradients on (or update) base parameters."""
+        model, tok = _tiny_model()
+        user = make_user(0, seed=0)
+        samples_a = make_dataset("LaMP-2").generate(user, 3, seed=1)
+        samples_b = make_dataset("LaMP-1").generate(user, 3, seed=2)
+        before = model.state_dict()
+        config = TuningConfig(steps=4, lr=0.05, seed=0)
+        errors = []
+
+        def tune(samples):
+            try:
+                VanillaPromptTuner(model, tok, config).fit(samples)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=tune, args=(s,))
+                   for s in (samples_a, samples_b)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert all(p.grad is None for p in model.parameters())
+        assert all(p.requires_grad for p in model.parameters())
+        after = model.state_dict()
+        for name, value in before.items():
+            np.testing.assert_array_equal(after[name], value)
