@@ -7,15 +7,8 @@
 4. Autoencoder code size (paper: 48) vs smaller/larger encodings.
 """
 
-import numpy as np
-
-from repro.core import (
-    FrameworkConfig,
-    KSelectionConfig,
-    NVCiMDeployment,
-)
-from repro.eval import score_output
-from repro.eval.runner import evaluate_method, MethodSpec, TABLE1_METHODS
+from repro.core import KSelectionConfig
+from repro.eval.runner import evaluate_method, TABLE1_METHODS
 from repro.retrieval import SearchConfig
 
 from benchmarks.common import (

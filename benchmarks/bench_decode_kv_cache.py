@@ -10,6 +10,8 @@ is wall-clock only.
 Usage:
     PYTHONPATH=src python benchmarks/bench_decode_kv_cache.py          # timing
     PYTHONPATH=src python benchmarks/bench_decode_kv_cache.py --smoke  # CI drift check
+    PYTHONPATH=src python benchmarks/bench_decode_kv_cache.py --quick \
+        --json BENCH_decode_kv_cache.json                              # CI artifact
 
 The default (timing) mode generates 100 tokens from a 128-token context —
 the paper's inference budget — and fails unless the cached path is at
@@ -29,6 +31,7 @@ before weakening the greedy gate.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -55,7 +58,8 @@ def timed_generate(model, ids, config, *, use_cache):
     return out, time.perf_counter() - start
 
 
-def run_timing(context_len: int, n_tokens: int, min_speedup: float) -> int:
+def run_timing(context_len: int, n_tokens: int, min_speedup: float,
+               json_path: str | None = None) -> int:
     model = build_model(smoke=False)
     rng = np.random.default_rng(0)
     ids = rng.integers(1, model.config.vocab_size, size=context_len)
@@ -73,6 +77,19 @@ def run_timing(context_len: int, n_tokens: int, min_speedup: float) -> int:
     print(f"cached (prefill + steps):  {t_cached * 1e3:9.1f} ms")
     print(f"speedup:                   {speedup:9.1f}x")
     print(f"identical token ids:       {identical} ({cached.size} tokens)")
+
+    if json_path:
+        payload = {
+            "benchmark": "decode_kv_cache",
+            "config": {"context": context_len, "tokens": n_tokens},
+            "tokens_per_s_uncached": n_tokens / t_uncached,
+            "tokens_per_s_cached": n_tokens / t_cached,
+            "speedup": speedup,
+            "identical": identical,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
 
     if not identical:
         print("FAIL: cached decode diverged from the reference loop")
@@ -126,16 +143,28 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="fast equivalence-only check (for CI)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
     parser.add_argument("--context", type=int, default=128,
                         help="prompt length for the timing run")
     parser.add_argument("--tokens", type=int, default=100,
                         help="tokens to generate in the timing run")
-    parser.add_argument("--min-speedup", type=float, default=5.0,
-                        help="required cached-vs-uncached speedup")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required cached-vs-uncached speedup "
+                             "(default 5.0, or 1.5 with --quick)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
-    return run_timing(args.context, args.tokens, args.min_speedup)
+    if args.quick:
+        context = min(args.context, 64)
+        tokens = min(args.tokens, 40)
+        min_speedup = args.min_speedup if args.min_speedup else 1.5
+    else:
+        context, tokens = args.context, args.tokens
+        min_speedup = args.min_speedup if args.min_speedup else 5.0
+    return run_timing(context, tokens, min_speedup, args.json)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,217 @@
+"""Cross-user continuous batching vs sequential decoding in the engine.
+
+The serving engine's multi-user hot path: N users' queries are in flight
+at once over one shared frozen model.  The sequential reference finishes
+each answer before starting the next, so the per-token python/numpy
+dispatch overhead is paid once per token *per user*.  Continuous batching
+(``answer_batch(batched=True)``) advances every pending answer one token
+per round through a single batched forward, amortising that overhead
+across the whole batch — answers are token-identical, the win is
+aggregate tokens/s.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_serve_decode_batched.py            # timing
+    PYTHONPATH=src python benchmarks/bench_serve_decode_batched.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_serve_decode_batched.py --quick \
+        --json BENCH_serve_decode.json                                        # CI artifact
+
+The default (timing) mode serves one query from each of 8 concurrent
+sessions at a 64-token budget and fails unless batched decoding reaches
+``--min-speedup`` (3x) the sequential aggregate tokens/s with identical
+answers.  Smoke mode skips timing and checks batched-vs-sequential
+response equality (greedy and seeded sampling, with and without EOS), so
+any batching drift fails CI fast.  ``--json`` writes the machine-readable
+result for the perf-trajectory artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import PromptServeEngine, QueryRequest, TuneRequest
+
+
+def stream_for(user_id: int, count: int, seed: int = 0):
+    dataset = make_dataset("LaMP-2")
+    return dataset.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def build_engine(n_sessions: int, *, pretrain_steps: int,
+                 train_users: int = 1) -> tuple[PromptServeEngine, object]:
+    """An engine with ``n_sessions`` resident users sharing one model.
+
+    Only ``train_users`` libraries are actually trained (training is not
+    what this benchmark measures); the rest adopt the first library, which
+    still gives every session its own NVM deployment and prefill cache.
+    """
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=400, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=pretrain_steps, seed=0))
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"),
+                               max_sessions=n_sessions)
+    for user_id in range(train_users):
+        engine.submit(TuneRequest(
+            user_id=user_id,
+            samples=tuple(stream_for(user_id, 10, seed=user_id))))
+    library = engine.session(0).library
+    for user_id in range(train_users, n_sessions):
+        engine.load_session(user_id, library)
+    return engine, tok
+
+
+def make_requests(engine: PromptServeEngine, n_sessions: int, n_tokens: int,
+                  *, temperature: float = 0.1, seed: int = 3,
+                  eos: bool = False) -> list[QueryRequest]:
+    """One query per session, ragged texts, interleaved arrival order."""
+    eos_id = engine.tokenizer.eos_id if eos else None
+    generation = GenerationConfig(max_new_tokens=n_tokens,
+                                  temperature=temperature, seed=seed,
+                                  eos_id=eos_id)
+    requests = [
+        QueryRequest(user_id=user_id,
+                     text=stream_for(user_id, 1, seed=40 + user_id)[0]
+                     .input_text,
+                     generation=generation,
+                     request_id=f"u{user_id}")
+        for user_id in range(n_sessions)
+    ]
+    return requests[::2] + requests[1::2]
+
+
+def clear_prefill_caches(engine: PromptServeEngine) -> None:
+    for user_id in engine.active_users():
+        engine.session(user_id).clear_prefill_cache()
+
+
+def run_timing(n_sessions: int, n_tokens: int, min_speedup: float,
+               pretrain_steps: int, json_path: str | None) -> int:
+    engine, _ = build_engine(n_sessions, pretrain_steps=pretrain_steps)
+    # No EOS: every answer runs its full budget, so both paths generate
+    # exactly n_sessions * n_tokens tokens and tokens/s compares cleanly.
+    requests = make_requests(engine, n_sessions, n_tokens)
+
+    # Warm-up programs each session's crossbars and deployment once; the
+    # timed passes then measure decoding, not NVM programming.
+    engine.answer_batch(requests, batched=False)
+
+    clear_prefill_caches(engine)
+    start = time.perf_counter()
+    sequential = engine.answer_batch(requests, batched=False)
+    t_sequential = time.perf_counter() - start
+
+    clear_prefill_caches(engine)
+    start = time.perf_counter()
+    batched = engine.answer_batch(requests)
+    t_batched = time.perf_counter() - start
+
+    identical = batched == sequential
+    total_tokens = n_sessions * n_tokens
+    tps_sequential = total_tokens / t_sequential
+    tps_batched = total_tokens / t_batched
+    speedup = tps_batched / tps_sequential
+    stats = engine.stats()
+
+    print(f"\n=== Continuous batching: {n_sessions} sessions x "
+          f"{n_tokens} tokens ===")
+    print(f"sequential: {t_sequential * 1e3:9.1f} ms  "
+          f"({tps_sequential:8.1f} tok/s)")
+    print(f"batched:    {t_batched * 1e3:9.1f} ms  "
+          f"({tps_batched:8.1f} tok/s)")
+    print(f"speedup:    {speedup:9.2f}x")
+    print(f"occupancy:  {stats['batch_occupancy']:9.2f} sequences/round "
+          f"over {stats['decode_rounds']} rounds")
+    print(f"identical responses: {identical}")
+
+    if json_path:
+        payload = {
+            "benchmark": "serve_decode_batched",
+            "config": {"sessions": n_sessions, "tokens_per_answer": n_tokens,
+                       "model": "phi-2-sim", "preset": "fast"},
+            "tokens_per_s_sequential": tps_sequential,
+            "tokens_per_s_batched": tps_batched,
+            "speedup": speedup,
+            "batch_occupancy": stats["batch_occupancy"],
+            "decode_rounds": stats["decode_rounds"],
+            "identical": identical,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
+
+    if not identical:
+        print("FAIL: batched responses diverged from the sequential path")
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {min_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def run_smoke() -> int:
+    """Response equality across sampling modes; no timing assertions."""
+    engine, _ = build_engine(3, pretrain_steps=30)
+    failures = 0
+    cases = {
+        "greedy+eos": dict(temperature=0.0, eos=True),
+        "greedy": dict(temperature=0.0, eos=False),
+        "sampled+eos": dict(temperature=0.7, eos=True),
+        "sampled": dict(temperature=0.7, eos=False),
+    }
+    for name, kwargs in cases.items():
+        requests = make_requests(engine, 3, 6, seed=11, **kwargs)
+        sequential = engine.answer_batch(requests, batched=False)
+        clear_prefill_caches(engine)
+        batched = engine.answer_batch(requests)
+        ok = batched == sequential
+        print(f"{'ok  ' if ok else 'FAIL'} {name}: "
+              f"{len(batched)} responses")
+        failures += not ok
+    if failures:
+        print(f"FAIL: {failures} batching case(s) diverged")
+        return 1
+    print("OK: batched serving identical to sequential in all cases")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast equivalence-only check (for CI)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="concurrent user sessions (4-16 is the "
+                             "deployment range)")
+    parser.add_argument("--tokens", type=int, default=64,
+                        help="tokens generated per answer")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="required batched-vs-sequential speedup "
+                             "(default 3.0, or 1.5 with --quick)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    if args.quick:
+        sessions = min(args.sessions, 6)
+        tokens = min(args.tokens, 32)
+        min_speedup = args.min_speedup if args.min_speedup else 1.5
+        pretrain_steps = 30
+    else:
+        sessions, tokens = args.sessions, args.tokens
+        min_speedup = args.min_speedup if args.min_speedup else 3.0
+        pretrain_steps = 60
+    return run_timing(sessions, tokens, min_speedup, pretrain_steps,
+                      args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

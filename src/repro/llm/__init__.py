@@ -2,13 +2,17 @@
 
 from .attention import KVPrefix, MultiHeadSelfAttention
 from .generation import (
+    DecodeRoundReport,
+    DecodeScheduler,
+    DecodeSequence,
     GenerationConfig,
     PrefillState,
+    decode_batch,
     decode_from,
     generate,
     prefill,
 )
-from .kv_cache import KVCache
+from .kv_cache import BatchedKVCache, KVCache
 from .pretrain import PretrainConfig, pretrain_lm
 from .quantization import quantization_error, quantize_array, quantize_model_weights
 from .registry import (
@@ -25,9 +29,10 @@ from .transformer import LMConfig, TinyCausalLM, TransformerBlock
 
 __all__ = [
     "Tokenizer", "PAD", "BOS", "EOS", "UNK", "SEP",
-    "MultiHeadSelfAttention", "KVPrefix", "KVCache",
+    "MultiHeadSelfAttention", "KVPrefix", "KVCache", "BatchedKVCache",
     "LMConfig", "TransformerBlock", "TinyCausalLM",
     "GenerationConfig", "PrefillState", "generate", "prefill", "decode_from",
+    "DecodeSequence", "DecodeScheduler", "DecodeRoundReport", "decode_batch",
     "PretrainConfig", "pretrain_lm",
     "quantize_array", "quantize_model_weights", "quantization_error",
     "EdgeModelSpec", "MODEL_REGISTRY", "available_models",

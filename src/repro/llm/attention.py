@@ -10,9 +10,23 @@ processed (``past_kv``), and the layer returns the extended cache so the
 next step can do the same.  Prefixes and past-KVs compose: the prefix is
 constant trained conditioning re-attached every call, while the past cache
 accumulates real positions.
+
+:meth:`MultiHeadSelfAttention.decode_step` is the cross-sequence batched
+variant of that decode path: one new token per sequence, each sequence
+carrying its own (ragged-length) past.  The projections run as one batched
+matmul — numpy evaluates stacked ``(B, 1, d)`` matmuls slice-by-slice, so
+every row is bitwise what the single-sequence call computes — while the
+softmax/context core runs per sequence over *compact* keys.  A padded
+key-mask formulation would be mathematically equivalent but not
+bit-identical (masked entries change the length, and therefore the
+association order, of numpy's reductions), and bit-identity with the
+sequential reference is the contract the serving engine's batched decode
+is built on.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -124,6 +138,74 @@ class MultiHeadSelfAttention(Module):
         if use_cache:
             return out, present
         return out
+
+    def decode_step(
+        self,
+        x: Tensor,
+        past: Sequence[KVPrefix],
+        prefix_kv: Sequence[KVPrefix | None] | None = None,
+    ) -> tuple[Tensor, list[KVPrefix]]:
+        """One decode round over ``B`` independent sequences at once.
+
+        ``x`` is (B, 1, d_model) — the newest token of each sequence —
+        and ``past[i]`` carries sequence ``i``'s cached keys/values, shaped
+        (1, heads, L_i, d_head) with ragged ``L_i``.  ``prefix_kv``
+        optionally carries each sequence's trained KV prefix (entries may
+        be None), re-attached ahead of the cache exactly as in
+        :meth:`forward`.
+
+        Returns ``(out, present)`` where ``out`` is (B, 1, d_model) and
+        ``present[i]`` extends ``past[i]`` by this round's position.  Every
+        row of ``out`` is bit-identical to calling :meth:`forward` with
+        that sequence alone: the projections are stacked matmuls (numpy
+        evaluates them slice-by-slice), and the attention core runs per
+        sequence over compact keys so no padded reduction can drift.
+        """
+        batch, length, _ = x.shape
+        if length != 1:
+            raise ValueError(
+                f"decode_step advances one token per sequence, got {length}"
+            )
+        if len(past) != batch:
+            raise ValueError(
+                f"{len(past)} past caches for a batch of {batch} tokens"
+            )
+        if prefix_kv is not None and len(prefix_kv) != batch:
+            raise ValueError(
+                f"{len(prefix_kv)} prefixes for a batch of {batch} tokens"
+            )
+        q = self._split_heads(self.q_proj(x), batch, length)
+        k = self._split_heads(self.k_proj(x), batch, length)
+        v = self._split_heads(self.v_proj(x), batch, length)
+        q_data, k_data, v_data = q.data, k.data, v.data
+        scale = np.float32(1.0 / np.sqrt(self.d_head))
+
+        contexts: list[np.ndarray] = []
+        present: list[KVPrefix] = []
+        for i in range(batch):
+            past_k, past_v = past[i]
+            self._check_kv(past_k, past_v, "past")
+            keys = np.concatenate([past_k.data, k_data[i:i + 1]], axis=2)
+            values = np.concatenate([past_v.data, v_data[i:i + 1]], axis=2)
+            present.append((Tensor(keys), Tensor(values)))
+            if prefix_kv is not None and prefix_kv[i] is not None:
+                pk, pv = prefix_kv[i]
+                self._check_kv(pk, pv, "prefix")
+                keys = np.concatenate([pk.data, keys], axis=2)
+                values = np.concatenate([pv.data, values], axis=2)
+            scores = np.matmul(q_data[i:i + 1], keys.swapaxes(-1, -2)) * scale
+            # A single new token sees the whole prefix and every cached
+            # position, so the causal mask is all-visible here; the softmax
+            # mirrors ag.softmax's exact operation sequence.
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            contexts.append(np.matmul(scores, values))
+
+        merged = (np.concatenate(contexts, axis=0)
+                  .transpose(0, 2, 1, 3)
+                  .reshape(batch, length, self.d_model))
+        return self.out_proj(Tensor(merged)), present
 
     @staticmethod
     def _causal_mask(length: int, prefix_len: int,

@@ -14,21 +14,33 @@ loop; both paths emit identical token ids under identical seeds.
 The prefill/decode split is also public (:func:`prefill`,
 :func:`decode_from`) so the serving engine can run a prompt's prefill once
 and reuse it across repeated queries.
+
+Continuous batching builds on that split: a :class:`DecodeScheduler`
+holds many in-flight generations and advances *all* of them one token per
+round through a single batched forward
+(:meth:`~repro.llm.transformer.TinyCausalLM.decode_round`), admitting new
+sequences and retiring finished ones (EOS, token budget, context limit)
+between rounds.  Every sequence's output is token-identical to decoding it
+alone with :func:`decode_from` — each keeps its own compact cache, rng
+stream, and sampling config — so batching changes aggregate throughput,
+never answers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..ag import Tensor, cat, no_grad
 from .attention import KVPrefix
-from .kv_cache import KVCache
+from .kv_cache import BatchedKVCache, KVCache
 from .transformer import TinyCausalLM
 
 __all__ = ["GenerationConfig", "PrefillState", "generate", "prefill",
-           "decode_from"]
+           "decode_from", "DecodeSequence", "DecodeScheduler",
+           "DecodeRoundReport", "decode_batch"]
 
 
 @dataclass(frozen=True)
@@ -274,3 +286,210 @@ def _full_forward(model: TinyCausalLM, ids: np.ndarray,
         full = _embed_with_soft_prompt(model, ids, soft_prompt)
         logits = model(embeddings=full, prefix_kv=prefix_kv)
     return logits.data[0, -1]
+
+
+# ----------------------------------------------------------------------
+# Continuous-batching decode
+# ----------------------------------------------------------------------
+class DecodeSequence:
+    """One in-flight generation inside a :class:`DecodeScheduler`.
+
+    Self-contained by design: it references only the (immutable) prefill
+    state and owns its growing cache, rng stream, and sampling config, so
+    whoever admitted it (e.g. a serving session) can disappear mid-flight
+    without affecting this or any other sequence in the batch.
+    """
+
+    __slots__ = ("state", "config", "cache", "generated", "finished",
+                 "finish_reason", "_rng", "_total", "_budget")
+
+    def __init__(self, state: PrefillState, config: GenerationConfig,
+                 budget: int):
+        self.state = state
+        self.config = config
+        self.cache = state.cache
+        self.generated: list[int] = []
+        self.finished = False
+        self.finish_reason: str | None = None
+        self._rng = np.random.default_rng(config.seed)
+        self._total = state.n_tokens
+        self._budget = budget
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated)
+
+    def token_ids(self) -> np.ndarray:
+        """The tokens generated so far (all of them, once finished)."""
+        return np.asarray(self.generated, dtype=np.int64)
+
+    # -- internal ------------------------------------------------------
+    def _finish(self, reason: str) -> None:
+        self.finished = True
+        self.finish_reason = reason
+
+    def _check_limits(self) -> None:
+        """Retire on the same boundaries the sequential loop breaks at."""
+        if len(self.generated) >= self.config.max_new_tokens:
+            self._finish("length")
+        elif self._total >= self._budget:
+            self._finish("context")
+
+    def _absorb(self, logits: np.ndarray) -> int:
+        """Sample one token from ``logits``; returns 1 if a token landed."""
+        next_id = _sample(logits, self.config.temperature, self._rng)
+        if self.config.eos_id is not None and next_id == self.config.eos_id:
+            self._finish("eos")
+            return 0
+        self.generated.append(next_id)
+        self._total += 1
+        self._check_limits()
+        return 1
+
+
+@dataclass(frozen=True)
+class DecodeRoundReport:
+    """What one continuous-batching round did (serving telemetry)."""
+
+    tokens_emitted: int   # tokens appended across all sequences
+    n_active: int         # sequences that entered the round
+    n_retired: int        # sequences that finished during the round
+
+
+class DecodeScheduler:
+    """Continuous-batching decoder over one model.
+
+    Sequences are :meth:`admit`-ted with their own
+    :class:`GenerationConfig` and advance together, one token per
+    :meth:`decode_round`, through a single batched forward; finished
+    sequences retire between rounds and new ones may be admitted at any
+    time ("in-flight batching").  Each sequence's tokens are identical to
+    what :func:`decode_from` would produce from the same state — greedy
+    and seeded sampling alike — because the batched forward is bit-exact
+    per sequence and every sequence keeps a private rng stream.
+    """
+
+    def __init__(self, model: TinyCausalLM):
+        self.model = model
+        self._active: list[DecodeSequence] = []
+        self.rounds = 0
+        self.tokens_emitted = 0
+        self.occupancy_sum = 0   # sum over rounds of sequences per round
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    @property
+    def has_active(self) -> bool:
+        return bool(self._active)
+
+    def admit(self, state: PrefillState,
+              config: GenerationConfig = GenerationConfig(),
+              ) -> DecodeSequence:
+        """Add one prefilled sequence to the in-flight batch.
+
+        The first token is sampled right here from the prefill logits (no
+        forward needed), exactly as :func:`decode_from` does; a sequence
+        that immediately hits EOS or a limit retires without ever joining
+        a round.
+        """
+        if state.cache.batch_size != 1:
+            raise ValueError(
+                f"admit() takes single-sequence prefills, got batch "
+                f"{state.cache.batch_size}"
+            )
+        budget = self.model.config.max_seq_len - state.virtual_len
+        sequence = DecodeSequence(state, config, budget)
+        if sequence._total >= budget:
+            sequence._finish("context")   # prefill() normally rejects this
+        else:
+            sequence._absorb(state.last_logits)
+        if not sequence.finished:
+            self._active.append(sequence)
+        return sequence
+
+    def cancel(self, sequence: DecodeSequence) -> bool:
+        """Cleanly retire a sequence mid-flight; its tokens so far remain.
+
+        Returns True if the sequence was active.  The batch simply shrinks
+        by one slot — remaining sequences are unaffected (their caches and
+        rng streams are private).
+        """
+        try:
+            self._active.remove(sequence)
+        except ValueError:
+            return False
+        sequence._finish("cancelled")
+        return True
+
+    # ------------------------------------------------------------------
+    def decode_round(self) -> DecodeRoundReport:
+        """Advance every in-flight sequence by one token (one forward)."""
+        active = self._active
+        if not active:
+            return DecodeRoundReport(0, 0, 0)
+        model = self.model
+        tokens = np.array([seq.generated[-1] for seq in active],
+                          dtype=np.int64)
+        batched = BatchedKVCache.stack([seq.cache for seq in active])
+        prefixes = None
+        if any(seq.state.prefix_kv is not None for seq in active):
+            prefixes = [seq.state.prefix_kv for seq in active]
+        was_training = model.training
+        if was_training:
+            model.eval()
+        try:
+            with no_grad():
+                logits, extended = model.decode_round(tokens, batched,
+                                                      prefix_kvs=prefixes)
+        finally:
+            if was_training:
+                model.train()
+        emitted = 0
+        logits_data = logits.data
+        for i, (seq, cache) in enumerate(zip(active, extended.split())):
+            seq.cache = cache
+            emitted += seq._absorb(logits_data[i, -1])
+        self._active = [seq for seq in active if not seq.finished]
+        retired = len(active) - len(self._active)
+        self.rounds += 1
+        self.tokens_emitted += emitted
+        self.occupancy_sum += len(active)
+        return DecodeRoundReport(tokens_emitted=emitted,
+                                 n_active=len(active), n_retired=retired)
+
+    def run(self) -> None:
+        """Round until every admitted sequence has retired."""
+        while self._active:
+            self.decode_round()
+
+
+def decode_batch(
+    model: TinyCausalLM,
+    states: Sequence[PrefillState],
+    configs: GenerationConfig | Sequence[GenerationConfig] | None = None,
+) -> list[np.ndarray]:
+    """Decode many prefilled sequences together via continuous batching.
+
+    ``configs`` may be one config for all states or one per state.  The
+    result order matches ``states``, and each entry is token-identical to
+    ``decode_from(model, state, config)`` run on its own.
+    """
+    states = list(states)
+    if configs is None:
+        configs = [GenerationConfig()] * len(states)
+    elif isinstance(configs, GenerationConfig):
+        configs = [configs] * len(states)
+    else:
+        configs = list(configs)
+    if len(configs) != len(states):
+        raise ValueError(
+            f"{len(configs)} configs for {len(states)} states"
+        )
+    scheduler = DecodeScheduler(model)
+    sequences = [scheduler.admit(state, config)
+                 for state, config in zip(states, configs)]
+    scheduler.run()
+    return [sequence.token_ids() for sequence in sequences]

@@ -1,4 +1,4 @@
-"""Per-layer key/value cache for incremental decoding.
+"""Per-layer key/value caches for incremental decoding.
 
 A :class:`KVCache` holds, for every transformer layer, the keys and values
 of all positions processed so far, shaped ``(batch, heads, T, d_head)``.
@@ -7,6 +7,16 @@ returns a *new* cache whose tensors extend the old one (the old cache and
 its tensors are never mutated), so a prefill cache can be shared safely
 between many decodes — the basis of the serving engine's prefill reuse.
 
+A :class:`BatchedKVCache` groups many single-sequence caches so one decode
+round can advance them together even though their cached lengths are
+ragged (different users' prompts, admitted at different times).  Because
+single-sequence caches are value-immutable, :meth:`BatchedKVCache.stack`
+and :meth:`BatchedKVCache.split` are O(batch) reference operations — no
+tensor is ever copied or padded.  Keeping each sequence's rows compact
+(rather than right-padding to the longest and masking) is what lets the
+batched decode round reproduce the sequential path bit-for-bit: padded
+reductions change numpy's summation tree and drift by ulps.
+
 Trained KV *prefixes* (prefix tuning / P-tuning v2) are deliberately not
 stored here: they are constant conditioning re-attached by the attention
 layer on every step, while the cache only accumulates real positions.
@@ -14,9 +24,13 @@ layer on every step, while the cache only accumulates real positions.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from .attention import KVPrefix
 
-__all__ = ["KVCache"]
+__all__ = ["KVCache", "BatchedKVCache"]
 
 
 class KVCache:
@@ -64,3 +78,80 @@ class KVCache:
     def __repr__(self) -> str:
         return (f"KVCache(n_layers={self.n_layers}, seq_len={self.seq_len}, "
                 f"batch={self.batch_size})")
+
+
+class BatchedKVCache:
+    """A ragged batch of single-sequence caches advancing in lockstep.
+
+    Each member cache must have ``batch_size == 1`` and the same number of
+    layers; their sequence lengths may differ (that is the point — a decode
+    round serves users whose prompts were different lengths and who were
+    admitted at different times).  The container is as immutable as its
+    members: a decode round builds a *new* :class:`BatchedKVCache` from the
+    extended per-sequence caches.
+    """
+
+    __slots__ = ("_caches",)
+
+    def __init__(self, caches: Sequence[KVCache]):
+        caches = list(caches)
+        if not caches:
+            raise ValueError("BatchedKVCache needs at least one sequence")
+        layer_counts = {cache.n_layers for cache in caches}
+        if len(layer_counts) != 1:
+            raise ValueError(
+                f"all sequences must cache the same number of layers, "
+                f"got {sorted(layer_counts)}"
+            )
+        for cache in caches:
+            if cache.batch_size != 1:
+                raise ValueError(
+                    f"BatchedKVCache members must be single-sequence "
+                    f"(batch 1), got batch {cache.batch_size}"
+                )
+        self._caches = caches
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def stack(cls, caches: Sequence[KVCache]) -> "BatchedKVCache":
+        """Group single-sequence caches into one ragged batch (no copies)."""
+        return cls(caches)
+
+    def split(self) -> list[KVCache]:
+        """The member caches, in batch order (no copies)."""
+        return list(self._caches)
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        return len(self._caches)
+
+    @property
+    def n_layers(self) -> int:
+        return self._caches[0].n_layers
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Cached positions per sequence (soft-prompt rows included)."""
+        return np.array([cache.seq_len for cache in self._caches],
+                        dtype=np.int64)
+
+    def sequence(self, index: int) -> KVCache:
+        """One sequence's cache."""
+        return self._caches[index]
+
+    def layer_slices(self, index: int) -> list[KVPrefix]:
+        """One layer's cached ``(key, value)`` pair for every sequence."""
+        return [cache.layer(index) for cache in self._caches]
+
+    def memory_bytes(self) -> int:
+        """Aggregate KV footprint (for serving telemetry)."""
+        return sum(cache.memory_bytes() for cache in self._caches)
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __repr__(self) -> str:
+        return (f"BatchedKVCache(batch={self.batch_size}, "
+                f"n_layers={self.n_layers}, "
+                f"lengths={self.lengths.tolist()})")

@@ -12,17 +12,26 @@ use_cache=True)`` processes only the *new* positions against a
 :class:`~repro.llm.kv_cache.KVCache` of everything already seen (position
 embeddings are offset by the cached length) and returns the extended cache
 alongside the logits.
+
+Cross-sequence batched decoding adds a fourth: :meth:`TinyCausalLM.
+decode_round` advances *many independent sequences* by one token in a
+single forward.  Each sequence carries its own ragged-length cache (a
+:class:`~repro.llm.kv_cache.BatchedKVCache`) and its own position offset;
+the dense sublayers run as one stacked forward while attention composes
+per-sequence compact caches, so every row of the returned logits is
+bit-identical to stepping that sequence alone through ``forward``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..ag import Embedding, Dropout, LayerNorm, Linear, Module, Tensor, gelu
 from .attention import KVPrefix, MultiHeadSelfAttention
-from .kv_cache import KVCache
+from .kv_cache import BatchedKVCache, KVCache
 
 __all__ = ["LMConfig", "TransformerBlock", "TinyCausalLM"]
 
@@ -79,6 +88,19 @@ class TransformerBlock(Module):
         if use_cache:
             return x, present
         return x
+
+    def decode_step(
+        self,
+        x: Tensor,
+        past: Sequence[KVPrefix],
+        prefix_kv: Sequence[KVPrefix | None] | None = None,
+    ) -> tuple[Tensor, list[KVPrefix]]:
+        """One batched decode round through this block (see attention)."""
+        attended, present = self.attn.decode_step(self.ln1(x), past,
+                                                  prefix_kv)
+        x = x + attended
+        x = x + self.drop(self.ff2(gelu(self.ff1(self.ln2(x)))))
+        return x, present
 
 
 class TinyCausalLM(Module):
@@ -191,3 +213,74 @@ class TinyCausalLM(Module):
         if use_cache:
             return logits, KVCache(present)
         return logits
+
+    # ------------------------------------------------------------------
+    def decode_round(
+        self,
+        token_ids: np.ndarray,
+        cache: BatchedKVCache,
+        *,
+        prefix_kvs: Sequence[list[KVPrefix] | None] | None = None,
+    ) -> tuple[Tensor, BatchedKVCache]:
+        """Advance ``B`` independent sequences by one token in one forward.
+
+        Args:
+            token_ids: (B,) newest token id of each sequence.
+            cache: each sequence's cached positions (ragged lengths).
+            prefix_kvs: optional per-sequence trained KV prefixes — entry
+                ``i`` is the ``prefix_kv`` list sequence ``i`` was
+                prefetched with (or None), re-attached every round exactly
+                as ``forward`` does.
+
+        Returns:
+            ``(logits, cache)`` where ``logits`` is (B, 1, vocab) and the
+            new cache extends every sequence by one position.  Row ``i``
+            is bit-identical to a single-sequence ``forward`` step with
+            ``past_kv=cache.sequence(i)``, which is what makes batched
+            serving answers token-identical to sequential ones.
+        """
+        ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+        if cache.n_layers != len(self.blocks):
+            raise ValueError(
+                f"cache has {cache.n_layers} layers for "
+                f"{len(self.blocks)} blocks"
+            )
+        if ids.size != cache.batch_size:
+            raise ValueError(
+                f"{ids.size} tokens for {cache.batch_size} cached sequences"
+            )
+        if prefix_kvs is not None:
+            if len(prefix_kvs) != cache.batch_size:
+                raise ValueError(
+                    f"{len(prefix_kvs)} prefix entries for "
+                    f"{cache.batch_size} sequences"
+                )
+            for prefix in prefix_kvs:
+                if prefix is not None and len(prefix) != len(self.blocks):
+                    raise ValueError(
+                        f"prefix_kv has {len(prefix)} entries for "
+                        f"{len(self.blocks)} layers"
+                    )
+        lengths = cache.lengths
+        if int(lengths.max()) + 1 > self.config.max_seq_len:
+            raise ValueError(
+                f"a sequence of {int(lengths.max()) + 1} exceeds "
+                f"max_seq_len={self.config.max_seq_len}"
+            )
+        # Each sequence's new token sits at its own next position.
+        x = (self.token_embedding(ids[:, None])
+             + self.position_embedding(lengths[:, None]))
+        present_layers: list[list[KVPrefix]] = []
+        for i, block in enumerate(self.blocks):
+            prefix_i = None
+            if prefix_kvs is not None:
+                prefix_i = [None if p is None else p[i] for p in prefix_kvs]
+            x, layer_present = block.decode_step(x, cache.layer_slices(i),
+                                                 prefix_i)
+            present_layers.append(layer_present)
+        logits = self.lm_head(self.ln_final(x))
+        new_caches = [
+            KVCache([layer[s] for layer in present_layers])
+            for s in range(cache.batch_size)
+        ]
+        return logits, BatchedKVCache(new_caches)

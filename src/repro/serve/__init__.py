@@ -11,6 +11,10 @@ base model.  This package is that story as an API:
 * :class:`TuneRequest` / :class:`QueryRequest` / :class:`QueryResponse` —
   the typed request/response surface, with retrieval telemetry (selected
   OVT, similarity scores, analytic latency/energy) on every answer.
+* :class:`PendingQuery` — a query in the continuous-batching decoder:
+  ``answer_batch`` (or ``begin_query`` + ``run_decode_round``) advances
+  every user's answer one token per round through a single batched
+  forward, token-identical to sequential serving.
 
 Quickstart::
 
@@ -21,11 +25,18 @@ Quickstart::
     print(response.answer, response.ovt_index, response.latency_us)
 """
 
-from .api import QueryRequest, QueryResponse, TuneRequest, TuneResponse
+from .api import (
+    PendingQuery,
+    QueryRequest,
+    QueryResponse,
+    TuneRequest,
+    TuneResponse,
+)
 from .engine import PromptServeEngine
 from .session import UserSession
 
 __all__ = [
     "PromptServeEngine", "UserSession",
     "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
+    "PendingQuery",
 ]

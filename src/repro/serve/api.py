@@ -7,16 +7,21 @@ queries as :class:`QueryRequest`s, and answers come back as
 telemetry an operator needs (which OVT was selected, the per-OVT
 similarity scores, and the analytic latency/energy estimate of the
 in-memory search from :mod:`repro.cim.energy`).
-"""
+
+:class:`PendingQuery` is the one mutable object: the handle returned by
+:meth:`~repro.serve.PromptServeEngine.begin_query` for a query admitted to
+the continuous-batching decoder.  It fills with a :class:`QueryResponse`
+once the generation retires (EOS, token budget, or cancellation)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..data.lamp import Sample
 from ..llm.generation import GenerationConfig
 
-__all__ = ["TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse"]
+__all__ = ["TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
+           "PendingQuery"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +86,38 @@ class QueryResponse:
     @property
     def energy_uj(self) -> float:
         return self.energy_pj * 1e-6
+
+
+class PendingQuery:
+    """A query admitted to the engine's continuous-batching decoder.
+
+    Returned by :meth:`~repro.serve.PromptServeEngine.begin_query`; each
+    :meth:`~repro.serve.PromptServeEngine.run_decode_round` advances it by
+    at most one token.  Once the generation retires, :attr:`response`
+    holds the same :class:`QueryResponse` the sequential path would have
+    produced.  The handle is self-contained — retrieval telemetry is
+    snapshotted at admission and the decode state lives in the underlying
+    sequence — so evicting the owning session mid-flight can neither
+    corrupt this query nor any other in the batch.
+    """
+
+    __slots__ = ("request", "response", "cancelled",
+                 "_sequence", "_session", "_retrieval")
+
+    def __init__(self, request: QueryRequest):
+        self.request = request
+        self.response: QueryResponse | None = None
+        self.cancelled = False
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+    @property
+    def user_id(self) -> int:
+        return self.request.user_id
+
+    def __repr__(self) -> str:
+        status = ("cancelled" if self.cancelled
+                  else "done" if self.done else "pending")
+        return f"PendingQuery(user={self.user_id}, {status})"

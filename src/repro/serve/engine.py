@@ -21,21 +21,45 @@ repeated queries — within one ``answer_batch`` or across calls — share one
 KV prefill and every token is a single-position forward.  Incremental
 decoding emits exactly the tokens the full-reforward loop would, so this
 changes latency, not answers.
+
+On top of that sits cross-user continuous batching: ``answer_batch``
+admits every query into one :class:`~repro.llm.generation.DecodeScheduler`
+and :meth:`PromptServeEngine.run_decode_round` advances *all* pending
+generations one token per round in a single batched forward — the shared
+base model is amortised across users instead of finishing each answer
+before starting the next.  The batched path is token-identical to the
+sequential one (kept as the reference via ``batched=False`` and
+:meth:`PromptServeEngine.query`): every sequence keeps a private compact
+KV cache, rng stream, and sampling config, and the batched forward is
+bit-exact per sequence.  Queries may also be admitted individually with
+:meth:`PromptServeEngine.begin_query` and driven by explicit rounds.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable
 
 import numpy as np
 
 from ..cim.energy import RetrievalCostReport, retrieval_cost
 from ..core.framework import FrameworkConfig, NVCiMDeployment, OVTLibrary
 from ..data.lamp import Sample
-from ..llm.generation import GenerationConfig, decode_from
+from ..llm.generation import (
+    DecodeRoundReport,
+    DecodeScheduler,
+    GenerationConfig,
+    decode_from,
+)
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
-from .api import QueryRequest, QueryResponse, TuneRequest, TuneResponse
+from .api import (
+    PendingQuery,
+    QueryRequest,
+    QueryResponse,
+    TuneRequest,
+    TuneResponse,
+)
 from .session import UserSession
 
 __all__ = ["PromptServeEngine"]
@@ -80,6 +104,11 @@ class PromptServeEngine:
         self.evicted_sessions = 0
         self.requests_served = 0
         self._evicted_prefill_hits = 0   # keeps stats monotonic across LRU
+        # One continuous-batching decoder for the engine's lifetime: its
+        # round/token/occupancy counters are the serving telemetry, and
+        # pending generations from different calls share rounds.
+        self._scheduler = DecodeScheduler(model)
+        self._pending: list[PendingQuery] = []
 
     # ------------------------------------------------------------------
     # Session management (bounded, LRU — the on-device NVM budget)
@@ -98,6 +127,11 @@ class PromptServeEngine:
                               config if config is not None else self.config)
         self._sessions[user_id] = session
         while len(self._sessions) > self.max_sessions:
+            # LRU eviction may land on a session with generations still in
+            # flight; those are self-contained (the decoder's sequences own
+            # their caches and telemetry snapshots) and finish normally, so
+            # eviction frees the NVM library without touching any batch
+            # slot.
             _, evicted = self._sessions.popitem(last=False)
             self._evicted_prefill_hits += evicted.prefill_hits
             self.evicted_sessions += 1
@@ -130,16 +164,41 @@ class PromptServeEngine:
         """Resident user ids, least- to most-recently used."""
         return list(self._sessions)
 
-    def drop_session(self, user_id: int) -> bool:
-        """Explicitly evict one user; True if they were resident."""
+    def drop_session(self, user_id: int, *,
+                     cancel_pending: bool = False) -> bool:
+        """Explicitly evict one user; True if they were resident.
+
+        A dropped user's pending generations are self-contained (their
+        decode state lives in the scheduler's sequences, not the session),
+        so by default they run to completion and their responses stay
+        token-identical to sequential serving.  With
+        ``cancel_pending=True`` they are instead retired immediately: each
+        handle completes with the tokens generated so far and is marked
+        ``cancelled``.  Either way, other users' batch slots are
+        untouched.
+        """
         session = self._sessions.pop(user_id, None)
         if session is None:
             return False
         self._evicted_prefill_hits += session.prefill_hits
+        if cancel_pending:
+            for pending in [p for p in self._pending
+                            if p._session is session]:
+                self._scheduler.cancel(pending._sequence)
+                pending.cancelled = True
+                self._finalize(pending)
         return True
 
     def stats(self) -> dict:
-        """Aggregate serving counters (for dashboards and tests)."""
+        """Aggregate serving counters (for dashboards and tests).
+
+        Safe to read while a decode round is in flight: request counters
+        advance only when a generation retires, and decode telemetry
+        (rounds, tokens, occupancy) comes from the scheduler's monotonic
+        counters.
+        """
+        scheduler = self._scheduler
+        rounds = scheduler.rounds
         return {
             "active_sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
@@ -151,6 +210,13 @@ class PromptServeEngine:
                                 for s in self._sessions.values()),
             "prefill_cache_bytes": sum(s.prefill_cache_bytes()
                                        for s in self._sessions.values()),
+            "pending_generations": len(self._pending),
+            "decode_rounds": rounds,
+            "decode_tokens": scheduler.tokens_emitted,
+            "tokens_per_round": (scheduler.tokens_emitted / rounds
+                                 if rounds else 0.0),
+            "batch_occupancy": (scheduler.occupancy_sum / rounds
+                                if rounds else 0.0),
         }
 
     # ------------------------------------------------------------------
@@ -212,54 +278,123 @@ class PromptServeEngine:
         session = self._resident_session(request.user_id)
         return self._serve_one(session, session.deployment(), request, {}, {})
 
-    def answer_batch(self,
-                     requests: list[QueryRequest]) -> list[QueryResponse]:
+    def answer_batch(self, requests: list[QueryRequest], *,
+                     batched: bool = True) -> list[QueryResponse]:
         """Serve a batch of queries; responses come back in input order.
 
         Queries are grouped by user so each user's deployment is resolved
         (and, if stale, reprogrammed) once per batch; repeated query texts
         share one encoding and repeated retrievals share one NVM read-back.
-        Answers are byte-identical to issuing the same requests one at a
-        time through :meth:`query`.
+
+        With ``batched=True`` (the default) every query is admitted to the
+        continuous-batching decoder and all answers advance one token per
+        round through a single forward over the shared model — the
+        multi-user throughput path.  ``batched=False`` keeps the
+        sequential reference loop (finish each answer before starting the
+        next).  Both are token-identical to issuing the same requests one
+        at a time through :meth:`query`.
         """
         order: OrderedDict[int, list[int]] = OrderedDict()
         for position, request in enumerate(requests):
             order.setdefault(request.user_id, []).append(position)
-        responses: list[QueryResponse | None] = [None] * len(requests)
-        for user_id, positions in order.items():
-            session = self._resident_session(user_id)
-            deployment = session.deployment()
-            code_cache: dict[str, np.ndarray] = {}
-            prompt_cache: dict[int, np.ndarray] = {}
-            for position in positions:
-                responses[position] = self._serve_one(
-                    session, deployment, requests[position],
-                    code_cache, prompt_cache)
-        return responses  # type: ignore[return-value]
+        if not batched:
+            responses: list[QueryResponse | None] = [None] * len(requests)
+            for user_id, positions in order.items():
+                session = self._resident_session(user_id)
+                deployment = session.deployment()
+                code_cache: dict[str, np.ndarray] = {}
+                prompt_cache: dict[int, np.ndarray] = {}
+                for position in positions:
+                    responses[position] = self._serve_one(
+                        session, deployment, requests[position],
+                        code_cache, prompt_cache)
+            return responses  # type: ignore[return-value]
+
+        pendings: list[PendingQuery | None] = [None] * len(requests)
+        try:
+            for user_id, positions in order.items():
+                session = self._resident_session(user_id)
+                deployment = session.deployment()
+                user_codes: dict[str, np.ndarray] = {}
+                user_prompts: dict[int, np.ndarray] = {}
+                for position in positions:
+                    pendings[position] = self._admit_one(
+                        session, deployment, requests[position],
+                        user_codes, user_prompts)
+        finally:
+            # Even if a later user's admission fails (e.g. no resident
+            # session), already-admitted queries are drained to completion
+            # — matching the sequential path, which serves earlier users
+            # before raising.
+            while any(p is not None and not p.done for p in pendings):
+                self.run_decode_round()
+        return [p.response for p in pendings]  # type: ignore[misc]
+
+    def begin_query(self, request: QueryRequest) -> PendingQuery:
+        """Admit one query to the continuous-batching decoder.
+
+        The retrieval happens now (so telemetry is snapshotted against the
+        current deployment) and the first token is sampled from the
+        prefill logits; the answer then advances one token per
+        :meth:`run_decode_round` until it retires.  The returned handle's
+        ``response`` is token-identical to what :meth:`query` would have
+        produced.
+        """
+        session = self._resident_session(request.user_id)
+        return self._admit_one(session, session.deployment(), request,
+                               {}, {})
+
+    def run_decode_round(self) -> DecodeRoundReport:
+        """Advance every pending generation by one token in one forward.
+
+        This is the serving hot loop: all sessions with pending
+        generations share a single batched decode step, and generations
+        that retire (EOS or budget) have their responses finalised so new
+        queries can be admitted mid-flight.  Returns the round's report
+        (tokens emitted, batch occupancy, retirements); a no-op when
+        nothing is pending.
+        """
+        report = self._scheduler.decode_round()
+        finished = [p for p in self._pending if p._sequence.finished]
+        for pending in finished:
+            self._finalize(pending)
+        return report
 
     # ------------------------------------------------------------------
-    def _serve_one(self, session: UserSession, deployment: NVCiMDeployment,
-                   request: QueryRequest,
-                   code_cache: dict[str, np.ndarray],
-                   prompt_cache: dict[int, np.ndarray]) -> QueryResponse:
-        text = request.text
+    @staticmethod
+    def _retrieve(deployment: NVCiMDeployment, text: str,
+                  code_cache: dict[str, np.ndarray]) -> tuple[int, np.ndarray]:
+        """In-memory search for the best OVT; memoises the query encoding."""
         codes = code_cache.get(text)
         if codes is None:
             codes = code_cache[text] = deployment.encode_query(text)
         scores = deployment.engine.query(codes)
-        index = int(np.argmax(scores))
+        return int(np.argmax(scores)), scores
 
+    @staticmethod
+    def _prompt_restorer(deployment: NVCiMDeployment, index: int,
+                         prompt_cache: dict[int, np.ndarray],
+                         ) -> Callable[[], np.ndarray]:
+        """Lazy NVM read-back: only reached on a prefill-cache miss, so a
+        repeated query skips the read-back and autoencoder decode along
+        with the prefill itself."""
         def restore_prompt() -> np.ndarray:
-            # Only reached on a prefill-cache miss: a repeated query skips
-            # the NVM read-back and autoencoder decode along with the
-            # prefill itself.
             prompt = prompt_cache.get(index)
             if prompt is None:
                 prompt = prompt_cache[index] = deployment.restored_prompt(index)
             return prompt
+        return restore_prompt
 
+    def _serve_one(self, session: UserSession, deployment: NVCiMDeployment,
+                   request: QueryRequest,
+                   code_cache: dict[str, np.ndarray],
+                   prompt_cache: dict[int, np.ndarray]) -> QueryResponse:
+        """Sequential reference path: retrieve, restore, decode to the end."""
+        text = request.text
+        index, scores = self._retrieve(deployment, text, code_cache)
         generation = request.generation or self.default_generation()
-        state = session.prefill_state(text, index, restore_prompt)
+        state = session.prefill_state(
+            text, index, self._prompt_restorer(deployment, index, prompt_cache))
         answer = self.tokenizer.decode(
             decode_from(self.model, state, generation))
         cost = _deployment_cost(deployment)
@@ -277,3 +412,51 @@ class PromptServeEngine:
             energy_pj=cost.energy_pj,
             request_id=request.request_id,
         )
+
+    def _admit_one(self, session: UserSession, deployment: NVCiMDeployment,
+                   request: QueryRequest,
+                   code_cache: dict[str, np.ndarray],
+                   prompt_cache: dict[int, np.ndarray]) -> PendingQuery:
+        """Retrieve/restore/prefill one query and admit it to the decoder.
+
+        Retrieval telemetry and the analytic cost are snapshotted now so
+        the eventual response matches the sequential path even if the
+        session is evicted (or retrained) while the answer is in flight.
+        """
+        text = request.text
+        index, scores = self._retrieve(deployment, text, code_cache)
+        generation = request.generation or self.default_generation()
+        state = session.prefill_state(
+            text, index, self._prompt_restorer(deployment, index, prompt_cache))
+        pending = PendingQuery(request)
+        pending._session = session
+        pending._retrieval = (index, tuple(float(s) for s in scores),
+                              deployment.engine.n_stored,
+                              _deployment_cost(deployment))
+        pending._sequence = self._scheduler.admit(state, generation)
+        session.generations_in_flight += 1
+        self._pending.append(pending)
+        if pending._sequence.finished:
+            self._finalize(pending)   # e.g. EOS on the very first sample
+        return pending
+
+    def _finalize(self, pending: PendingQuery) -> None:
+        """Turn a retired generation into its response (exactly once)."""
+        request = pending.request
+        index, scores, n_ovts, cost = pending._retrieval
+        pending.response = QueryResponse(
+            user_id=request.user_id,
+            text=request.text,
+            answer=self.tokenizer.decode(pending._sequence.token_ids()),
+            ovt_index=index,
+            scores=scores,
+            n_ovts=n_ovts,
+            backend=cost.backend,
+            latency_ns=cost.latency_ns,
+            energy_pj=cost.energy_pj,
+            request_id=request.request_id,
+        )
+        pending._session.queries_served += 1
+        pending._session.generations_in_flight -= 1
+        self.requests_served += 1
+        self._pending.remove(pending)

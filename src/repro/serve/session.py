@@ -57,6 +57,12 @@ class UserSession:
         self.epochs_completed = 0
         self.queries_served = 0
         self.prefill_hits = 0
+        # Generations admitted to the engine's decoder and not yet retired.
+        # In-flight decode state is owned by the sequences themselves, so
+        # this counter is telemetry (and an eviction-policy input), not a
+        # correctness requirement: evicting a session mid-flight leaves its
+        # pending generations running to completion.
+        self.generations_in_flight = 0
 
     # ------------------------------------------------------------------
     @property
@@ -144,6 +150,14 @@ class UserSession:
         """Approximate KV footprint of the cached prefill states."""
         return sum(state.cache.memory_bytes()
                    for state in self._prefill_states.values())
+
+    def clear_prefill_cache(self) -> None:
+        """Drop cached prefill states (e.g. to benchmark cold decodes).
+
+        Safe at any time: in-flight decodes hold their own references to
+        the states they started from.
+        """
+        self._prefill_states.clear()
 
     def answer(self, input_text: str,
                generation: GenerationConfig | None = None) -> str:

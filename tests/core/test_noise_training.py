@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ag import Parameter, Tensor
+from repro.ag import Parameter
 from repro.core import NoiseInjectionConfig, NoiseInjector
 
 RNG = np.random.default_rng(59)

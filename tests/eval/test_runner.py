@@ -10,7 +10,7 @@ from repro.eval.runner import (
     TABLE1_METHODS,
     evaluate_artifact,
 )
-from repro.tuning import PromptArtifact, TuningConfig, VirtualTokens
+from repro.tuning import PromptArtifact, VirtualTokens
 
 
 @pytest.fixture(scope="module")

@@ -11,6 +11,7 @@ import pytest
 
 from repro.ag import Tensor
 from repro.llm import (
+    BatchedKVCache,
     GenerationConfig,
     KVCache,
     TinyCausalLM,
@@ -121,6 +122,90 @@ class TestKVCacheContainer:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             KVCache([])
+
+
+class TestBatchedKVCacheContainer:
+    def _cache(self, seq_len, n_layers=2, fill=0.0):
+        return KVCache([(Tensor(np.full((1, 2, seq_len, 4), fill)),
+                         Tensor(np.full((1, 2, seq_len, 4), fill)))
+                        for _ in range(n_layers)])
+
+    def test_stack_split_round_trips_by_reference(self):
+        """Member caches are value-immutable, so stack/split move
+        references, never copy or pad tensors."""
+        members = [self._cache(length, fill=length) for length in (3, 7, 5)]
+        batched = BatchedKVCache.stack(members)
+        assert batched.split() == members
+        for i, member in enumerate(members):
+            assert batched.sequence(i) is member
+
+    def test_ragged_lengths_reported(self):
+        batched = BatchedKVCache.stack([self._cache(t) for t in (3, 7, 5)])
+        assert batched.batch_size == len(batched) == 3
+        assert batched.n_layers == 2
+        np.testing.assert_array_equal(batched.lengths, [3, 7, 5])
+        assert "lengths=[3, 7, 5]" in repr(batched)
+
+    def test_layer_slices_align_with_sequences(self):
+        members = [self._cache(t, fill=t) for t in (2, 4)]
+        batched = BatchedKVCache.stack(members)
+        slices = batched.layer_slices(1)
+        assert len(slices) == 2
+        for member, (key, _) in zip(members, slices):
+            assert key is member.layer(1)[0]
+
+    def test_memory_is_sum_of_members(self):
+        members = [self._cache(t) for t in (3, 5)]
+        batched = BatchedKVCache.stack(members)
+        assert batched.memory_bytes() == sum(m.memory_bytes()
+                                             for m in members)
+
+    def test_layer_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same number of layers"):
+            BatchedKVCache.stack([self._cache(3, n_layers=2),
+                                  self._cache(3, n_layers=3)])
+
+    def test_multi_sequence_member_rejected(self):
+        wide = KVCache([(Tensor(np.zeros((2, 2, 3, 4))),
+                         Tensor(np.zeros((2, 2, 3, 4))))])
+        with pytest.raises(ValueError, match="batch 1"):
+            BatchedKVCache.stack([wide])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedKVCache.stack([])
+
+    def test_decode_round_extends_every_sequence_by_one(self):
+        model = tiny_model()
+        caches = []
+        for length in (3, 6, 4):
+            _, cache = model(np.arange(1, 1 + length)[None, :],
+                             use_cache=True)
+            caches.append(cache)
+        batched = BatchedKVCache.stack(caches)
+        _, extended = model.decode_round(np.array([1, 2, 3]), batched)
+        np.testing.assert_array_equal(extended.lengths, [4, 7, 5])
+        # The originals are untouched (value-immutable members).
+        np.testing.assert_array_equal(batched.lengths, [3, 6, 4])
+        for old, new in zip(batched.split(), extended.split()):
+            np.testing.assert_array_equal(
+                new.layer(0)[0].data[:, :, :old.seq_len],
+                old.layer(0)[0].data)
+
+    def test_decode_round_respects_max_seq_len(self):
+        model = tiny_model(max_seq_len=6)
+        _, full = model(np.array([[1, 2, 3, 4, 5, 6]]), use_cache=True)
+        _, short = model(np.array([[1, 2]]), use_cache=True)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            model.decode_round(np.array([1, 1]),
+                               BatchedKVCache.stack([full, short]))
+
+    def test_decode_round_token_count_checked(self):
+        model = tiny_model()
+        _, cache = model(np.array([[1, 2]]), use_cache=True)
+        with pytest.raises(ValueError, match="cached sequences"):
+            model.decode_round(np.array([1, 2]),
+                               BatchedKVCache.stack([cache]))
 
 
 class TestModelPastKV:

@@ -6,7 +6,6 @@ import pytest
 from repro.nvm import (
     CrossbarArray,
     Int16Codec,
-    NVM_DEVICES,
     REFERENCE_SIGMA,
     available_devices,
     digits_to_values,

@@ -10,7 +10,6 @@ from repro.tuning import (
     IGNORE_INDEX,
     PTuningV2Tuner,
     PrefixTuner,
-    PromptArtifact,
     TuningConfig,
     VanillaPromptTuner,
     VirtualTokens,
