@@ -1,0 +1,235 @@
+"""Vectorized TileBank CiM simulation vs the per-tile reference.
+
+The retrieval hot path of the serving engine: every query is a scaled
+search over NVM crossbars.  The per-tile reference walks a Python grid of
+``CrossbarArray`` objects (one small matvec + one ADC pass per tile, per
+query); the vectorized ``TileBank`` layout evaluates whole query batches
+with one GEMM and one vectorized ADC pass per row-tile group.  Both
+program bit-identical conductances, so this benchmark is pure simulation
+throughput: the speedup is dispatch amortisation, not different physics.
+
+Two gates:
+
+* ``query_batch`` with 32 queries must beat 32 sequential ``query`` calls
+  on the reference layout by ``--min-batched-speedup`` (default 5x), at
+  the paper's 384x128 subarray geometry.
+* vectorized single-query ``matvec`` must beat the per-tile reference by
+  ``--min-matvec-speedup`` (default 3x) at a 96x48 subarray geometry.
+  Small subarrays are the dispatch-bound regime (IR drop keeps practical
+  crossbars at 48-128 rows, so fine tilings are realistic); at 384x128
+  both layouts stream the same conductance bytes and converge to the
+  memory bandwidth floor, so that geometry is reported but not gated.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_cim_retrieval.py           # timing
+    PYTHONPATH=src python benchmarks/bench_cim_retrieval.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/bench_cim_retrieval.py --quick \
+        --json BENCH_cim_retrieval.json                               # artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.cim import CiMMatrix
+from repro.nvm import get_device
+from repro.retrieval import CiMSearchEngine, SSA_CONFIG
+
+PAPER_GEOMETRY = (384, 128)
+GATE_GEOMETRY = (96, 48)
+
+
+def best_of(fn, reps: int, rounds: int = 3) -> float:
+    """Best per-call seconds over ``rounds`` timing loops."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def make_store(n_ovts: int, tokens: int = 12, code_dim: int = 48,
+               seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(tokens, code_dim)).astype(np.float32)
+            for _ in range(n_ovts)]
+
+
+def make_queries(count: int, code_dim: int = 48,
+                 seed: int = 1) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(10, code_dim)).astype(np.float32)
+            for _ in range(count)]
+
+
+def build_engine(ovts: list[np.ndarray], *, vectorized: bool,
+                 seed: int = 2) -> CiMSearchEngine:
+    engine = CiMSearchEngine(get_device("NVM-3"), sigma=0.1,
+                             config=SSA_CONFIG, vectorized=vectorized,
+                             rng=np.random.default_rng(seed))
+    engine.build(ovts)
+    return engine
+
+
+def bench_matvec(rows: int, cols: int, reps: int) -> dict:
+    """Single-query matvec, vectorized vs reference, one geometry."""
+    rng = np.random.default_rng(3)
+    w = rng.normal(size=(768, 64)).astype(np.float32)
+    x = rng.normal(size=768).astype(np.float32)
+    times = {}
+    for vectorized in (False, True):
+        matrix = CiMMatrix(w, get_device("NVM-3"), sigma=0.1, rows=rows,
+                           cols=cols, rng=np.random.default_rng(4),
+                           vectorized=vectorized)
+        key = "vectorized" if vectorized else "reference"
+        times[key] = best_of(lambda m=matrix: m.matvec(x), reps)
+    return {
+        "geometry": f"{rows}x{cols}",
+        "reference_us": times["reference"] * 1e6,
+        "vectorized_us": times["vectorized"] * 1e6,
+        "speedup": times["reference"] / times["vectorized"],
+    }
+
+
+def check_equivalence(n_ovts: int, n_queries: int) -> bool:
+    """Scores agree across layouts and across batch widths."""
+    ovts = make_store(n_ovts)
+    queries = make_queries(n_queries)
+    reference = build_engine(ovts, vectorized=False)
+    vectorized = build_engine(ovts, vectorized=True)
+    batched = vectorized.query_batch(queries)
+    ok = True
+    sequential = np.stack([vectorized.query(q) for q in queries])
+    if not np.array_equal(batched, sequential):
+        print("FAIL: batched scores differ from sequential (vectorized)")
+        ok = False
+    ref_scores = np.stack([reference.query(q) for q in queries])
+    if not np.allclose(batched, ref_scores, rtol=1e-3, atol=1e-3):
+        print("FAIL: vectorized scores drift from the per-tile reference")
+        ok = False
+    if vectorized.retrieve_batch(queries) != \
+            [reference.retrieve(q) for q in queries]:
+        print("FAIL: batched retrieval picks different OVTs")
+        ok = False
+    return ok
+
+
+def run(n_ovts: int, batch_sizes: list[int], reps_matvec: int,
+        reps_query: int, min_batched: float, min_matvec: float,
+        json_path: str | None) -> int:
+    ovts = make_store(n_ovts)
+    reference = build_engine(ovts, vectorized=False)
+    vectorized = build_engine(ovts, vectorized=True)
+    queries = make_queries(max(batch_sizes))
+
+    print(f"=== CiM retrieval: {n_ovts} OVTs, SSA scales "
+          f"{SSA_CONFIG.scales}, NVM-3, sigma 0.1 ===")
+
+    matvec_reports = [
+        bench_matvec(*PAPER_GEOMETRY, reps_matvec),
+        bench_matvec(*GATE_GEOMETRY, reps_matvec),
+    ]
+    for report in matvec_reports:
+        print(f"matvec {report['geometry']:>8}: "
+              f"reference {report['reference_us']:8.1f} us  "
+              f"vectorized {report['vectorized_us']:8.1f} us  "
+              f"-> {report['speedup']:5.2f}x")
+    gated_matvec = matvec_reports[-1]
+
+    t_sequential = best_of(
+        lambda: [reference.query(q) for q in queries], reps_query)
+    query_reports = []
+    for size in batch_sizes:
+        chunk = queries[:size]
+        t_batched = best_of(
+            lambda c=chunk: vectorized.query_batch(c), reps_query)
+        # Normalise to the full query set so sizes compare directly.
+        per_query_batched = t_batched / size
+        speedup = (t_sequential / len(queries)) / per_query_batched
+        query_reports.append({
+            "batch_size": size,
+            "batched_ms": t_batched * 1e3,
+            "per_query_us": per_query_batched * 1e6,
+            "speedup_vs_sequential_reference": speedup,
+        })
+        print(f"query_batch({size:3d}): {t_batched * 1e3:8.2f} ms  "
+              f"({per_query_batched * 1e6:8.1f} us/query)  "
+              f"-> {speedup:5.2f}x vs sequential reference")
+    print(f"sequential reference ({len(queries)} queries): "
+          f"{t_sequential * 1e3:8.2f} ms")
+
+    equivalent = check_equivalence(min(n_ovts, 16), 6)
+    batched_speedup = query_reports[-1]["speedup_vs_sequential_reference"]
+
+    if json_path:
+        payload = {
+            "benchmark": "cim_retrieval",
+            "config": {"n_ovts": n_ovts, "device": "NVM-3", "sigma": 0.1,
+                       "scales": list(SSA_CONFIG.scales),
+                       "paper_geometry": "x".join(map(str, PAPER_GEOMETRY)),
+                       "gate_geometry": "x".join(map(str, GATE_GEOMETRY))},
+            "matvec": matvec_reports,
+            "query_batch": query_reports,
+            "batched_speedup": batched_speedup,
+            "matvec_speedup": gated_matvec["speedup"],
+            "equivalent": equivalent,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
+
+    failures = 0
+    if not equivalent:
+        failures += 1
+    if batched_speedup < min_batched:
+        print(f"FAIL: batched speedup {batched_speedup:.2f}x below "
+              f"required {min_batched}x")
+        failures += 1
+    if gated_matvec["speedup"] < min_matvec:
+        print(f"FAIL: matvec speedup {gated_matvec['speedup']:.2f}x at "
+              f"{gated_matvec['geometry']} below required {min_matvec}x")
+        failures += 1
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast gated run for CI")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
+    parser.add_argument("--ovts", type=int, default=64,
+                        help="stored OVTs (columns per scale store)")
+    parser.add_argument("--min-batched-speedup", type=float, default=5.0,
+                        help="required 32-query batched speedup over the "
+                             "sequential per-tile reference")
+    parser.add_argument("--min-matvec-speedup", type=float, default=3.0,
+                        help="required vectorized matvec speedup at the "
+                             "gate geometry")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.smoke or args.quick:
+        reps_matvec, reps_query = 20, 2
+        batch_sizes = [1, 8, 32]
+    else:
+        reps_matvec, reps_query = 100, 5
+        batch_sizes = [1, 8, 32]
+    return run(args.ovts, batch_sizes, reps_matvec, reps_query,
+               args.min_batched_speedup, args.min_matvec_speedup,
+               args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,26 @@ Fig. 4), and tiled over 384x128 crossbars.  Matrix-vector products run
 slice-by-slice in the arrays and are shift-added digitally, which is
 exactly how the paper's scaled-search GMM executes.
 
-Noise-mitigation baselines plug in via two hooks: ``post_program`` (e.g.
-selective write-verify re-pulses cells) and ``correct_output`` (e.g.
-CxDNN / CorrectNet output compensation).
+Two storage layouts implement the same physics:
+
+* ``vectorized=True`` (default) — all tiles live in one
+  :class:`~repro.nvm.crossbar.TileBank` stack ordered slice-major
+  ``(slice, row_tile, col_tile)``.  Programming is a single vectorized
+  noise application, and :meth:`CiMMatrix.matmat` evaluates a whole batch
+  of queries with one batched matmul plus one vectorized ADC quantization
+  — the serving engine's batched-retrieval hot path.
+* ``vectorized=False`` — the per-tile reference: a Python grid of
+  :class:`~repro.nvm.crossbar.CrossbarArray` objects, one small matvec per
+  tile.  Because every tile (in both layouts) draws programming noise from
+  its own spawned generator, the reference programs to *bit-identical*
+  conductances, and read-backs agree exactly; batched query outputs match
+  the reference to float tolerance.
+
+Noise-mitigation baselines plug in via hooks: ``post_program`` (e.g.
+selective write-verify re-pulses cells), ``correct_output`` (CxDNN /
+CorrectNet compensation applied to single or batched MVM outputs) and
+``correct_read`` / ``correct_read_columns`` for full and column-range
+read-backs.
 """
 
 from __future__ import annotations
@@ -17,9 +34,10 @@ from typing import Protocol
 
 import numpy as np
 
-from ..nvm.crossbar import CrossbarArray, CrossbarStats
+from ..nvm.crossbar import CrossbarArray, CrossbarStats, TileBank, TileView
 from ..nvm.device_models import NVMDevice
-from ..nvm.quantize import Int16Codec, slice_to_digits
+from ..nvm.quantize import Int16Codec, slice_to_digits, slice_weights
+from ..utils import spawn_generators
 
 __all__ = ["CiMMatrix", "MitigationHooks", "NullMitigation"]
 
@@ -39,11 +57,20 @@ class MitigationHooks(Protocol):
 
     def correct_output(self, matrix: "CiMMatrix",
                        outputs: np.ndarray) -> np.ndarray:
-        """Correct an MVM output vector (per-column compensation)."""
+        """Correct MVM outputs — one vector (n,) or a batch (B, n)."""
 
     def correct_read(self, matrix: "CiMMatrix",
                      values: np.ndarray) -> np.ndarray:
         """Correct a full read-back of the stored matrix."""
+
+    def correct_read_columns(self, matrix: "CiMMatrix", values: np.ndarray,
+                             col0: int, col1: int) -> np.ndarray:
+        """Correct a column-range read-back (columns ``[col0, col1)``).
+
+        Optional for backward compatibility: mitigations that only
+        implement ``correct_read`` still work — :meth:`CiMMatrix.
+        read_columns` routes the slice through the full-width correction.
+        """
 
 
 class NullMitigation:
@@ -65,6 +92,10 @@ class NullMitigation:
                      values: np.ndarray) -> np.ndarray:
         return values
 
+    def correct_read_columns(self, matrix: "CiMMatrix", values: np.ndarray,
+                             col0: int, col1: int) -> np.ndarray:
+        return values
+
 
 class CiMMatrix:
     """A (d, n) float matrix stored bit-sliced on NVM crossbars."""
@@ -80,6 +111,7 @@ class CiMMatrix:
         adc_bits: int = 8,
         mitigation: MitigationHooks | None = None,
         rng: np.random.Generator | None = None,
+        vectorized: bool = True,
     ):
         values = np.asarray(values, dtype=np.float32)
         if values.ndim != 2:
@@ -89,6 +121,7 @@ class CiMMatrix:
         self.subarray_rows = rows
         self.subarray_cols = cols
         self.mitigation = mitigation or NullMitigation()
+        self.vectorized = vectorized
         self._rng = rng or np.random.default_rng(0)
 
         prepared = self.mitigation.prepare_values(values)
@@ -98,7 +131,12 @@ class CiMMatrix:
         self._digits = slice_to_digits(self._ints, device.bits_per_cell)
         self.n_slices = self._digits.shape[0]
         self._adc_bits = adc_bits
+        d, n = self.shape
+        self.n_row_tiles = -(-d // rows)
+        self.n_col_tiles = -(-n // cols)
         self._tiles: list[list[list[CrossbarArray]]] = []  # [slice][row][col]
+        self.bank: TileBank | None = None
+        self._chunk_map: np.ndarray | None = None
         # Calibration data some mitigations fill in during post_program.
         self.calibration: dict[str, np.ndarray] = {}
         self._program()
@@ -107,56 +145,121 @@ class CiMMatrix:
     # ------------------------------------------------------------------
     # Programming and geometry
     # ------------------------------------------------------------------
-    def _program(self) -> None:
+    def _tiled_digits(self) -> np.ndarray:
+        """Digit planes as a zero-padded (n_tiles, rows, cols) stack.
+
+        Tiles are ordered slice-major — ``(slice, row_tile, col_tile)`` in
+        C order — the canonical order both layouts also use when spawning
+        per-tile generators.
+        """
         d, n = self.shape
-        for digit_plane in self._digits:
+        rows, cols = self.subarray_rows, self.subarray_cols
+        padded = np.zeros(
+            (self.n_slices, self.n_row_tiles * rows, self.n_col_tiles * cols),
+            dtype=np.int64)
+        padded[:, :d, :n] = self._digits
+        stack = padded.reshape(self.n_slices, self.n_row_tiles, rows,
+                               self.n_col_tiles, cols)
+        return stack.transpose(0, 1, 3, 2, 4).reshape(-1, rows, cols)
+
+    def _program(self) -> None:
+        tile_count = self.n_slices * self.n_row_tiles * self.n_col_tiles
+        # One spawned generator per tile, derived hierarchically (matrix ->
+        # bit-slice -> tile, in slice-major order): programming noise is
+        # independent of tile iteration order and identical between the
+        # vectorized bank and the per-tile reference, and a slice's
+        # streams do not depend on how the other slices are tiled.
+        per_slice = self.n_row_tiles * self.n_col_tiles
+        rngs = [tile_rng
+                for slice_rng in spawn_generators(self._rng, self.n_slices)
+                for tile_rng in spawn_generators(slice_rng, per_slice)]
+        levels = self._tiled_digits()
+        if self.vectorized:
+            self.bank = TileBank(self.device, tile_count,
+                                 rows=self.subarray_rows,
+                                 cols=self.subarray_cols,
+                                 sigma=self.sigma, adc_bits=self._adc_bits,
+                                 rngs=rngs)
+            self.bank.program(levels)
+            return
+        flat = 0
+        for _ in range(self.n_slices):
             row_tiles = []
-            for r0 in range(0, d, self.subarray_rows):
+            for _ in range(self.n_row_tiles):
                 col_tiles = []
-                for c0 in range(0, n, self.subarray_cols):
-                    block = digit_plane[r0:r0 + self.subarray_rows,
-                                        c0:c0 + self.subarray_cols]
-                    padded = np.zeros((self.subarray_rows, self.subarray_cols),
-                                      dtype=np.int64)
-                    padded[:block.shape[0], :block.shape[1]] = block
+                for _ in range(self.n_col_tiles):
                     tile = CrossbarArray(self.device,
                                          rows=self.subarray_rows,
                                          cols=self.subarray_cols,
                                          sigma=self.sigma,
                                          adc_bits=self._adc_bits,
-                                         rng=self._rng)
-                    tile.program(padded)
+                                         rng=rngs[flat])
+                    tile.program(levels[flat])
                     col_tiles.append(tile)
+                    flat += 1
                 row_tiles.append(col_tiles)
             self._tiles.append(row_tiles)
 
     @property
     def n_subarrays(self) -> int:
-        return sum(len(col_tiles) for row_tiles in self._tiles
-                   for col_tiles in row_tiles)
+        return self.n_slices * self.n_row_tiles * self.n_col_tiles
+
+    def _chunk_index(self) -> np.ndarray:
+        """Input-chunk group of each flat tile: its row-tile index."""
+        if self._chunk_map is None:
+            per_slice = np.repeat(np.arange(self.n_row_tiles),
+                                  self.n_col_tiles)
+            self._chunk_map = np.tile(per_slice, self.n_slices)
+        return self._chunk_map
+
+    def slice_tile_indices(self, slice_index: int) -> np.ndarray:
+        """Flat bank indices of every tile holding ``slice_index`` digits."""
+        per_slice = self.n_row_tiles * self.n_col_tiles
+        if not 0 <= slice_index < self.n_slices:
+            raise IndexError(f"slice {slice_index} out of range "
+                             f"[0, {self.n_slices})")
+        start = slice_index * per_slice
+        return np.arange(start, start + per_slice)
 
     def iter_tiles(self):
-        """Yield every crossbar tile (used by write-verify mitigation)."""
-        for row_tiles in self._tiles:
-            for col_tiles in row_tiles:
-                yield from col_tiles
+        """Yield every crossbar tile (used by write-verify mitigation).
+
+        On the vectorized layout these are :class:`TileView` adapters over
+        the bank; on the reference layout, the tile objects themselves.
+        """
+        for _, tile in self.iter_tiles_with_slice():
+            yield tile
 
     def iter_tiles_with_slice(self):
         """Yield (slice_index, tile) pairs; slice 0 holds the LSB digits."""
+        if self.vectorized:
+            per_slice = self.n_row_tiles * self.n_col_tiles
+            for flat in range(self.n_subarrays):
+                yield flat // per_slice, TileView(self.bank, flat)
+            return
         for slice_index, row_tiles in enumerate(self._tiles):
             for col_tiles in row_tiles:
                 for tile in col_tiles:
                     yield slice_index, tile
 
     def aggregate_stats(self) -> CrossbarStats:
+        """Operation counters summed over every tile.
+
+        The vectorized layout sums the bank's counter vectors directly
+        (this runs inside ``PromptServeEngine.stats()``, so it must not
+        walk Python tile objects per call).
+        """
+        if self.vectorized:
+            return self.bank.aggregate_stats()
         total = CrossbarStats()
-        for tile in self.iter_tiles():
-            total.cells_programmed += tile.stats.cells_programmed
-            total.write_pulses += tile.stats.write_pulses
-            total.mvm_ops += tile.stats.mvm_ops
-            total.adc_conversions += tile.stats.adc_conversions
-            total.cell_reads += tile.stats.cell_reads
+        for tile in self._iter_reference_tiles():
+            total.add(tile.stats)
         return total
+
+    def _iter_reference_tiles(self):
+        for row_tiles in self._tiles:
+            for col_tiles in row_tiles:
+                yield from col_tiles
 
     # ------------------------------------------------------------------
     # Compute
@@ -166,15 +269,20 @@ class CiMMatrix:
         """In-memory ``x @ W`` with device noise; returns float (n,).
 
         ``corrected=False`` skips the mitigation's output correction
-        (mitigations use it during calibration).
+        (mitigations use it during calibration).  On the vectorized layout
+        this is :meth:`matmat` with a batch of one, so single and batched
+        queries share one code path (and one set of counters semantics).
         """
         x = np.asarray(x, dtype=np.float32).reshape(-1)
         d, n = self.shape
         if x.size != d:
             raise ValueError(f"input of {x.size} does not match matrix rows {d}")
+        if self.vectorized:
+            return self.matmat(x[None, :], quantize_output=quantize_output,
+                               corrected=corrected)[0]
         level_gain = self.device.n_levels - 1
-        base = float(2 ** self.device.bits_per_cell)
         total = np.zeros(n, dtype=np.float64)
+        weights = slice_weights(self.device.bits_per_cell, self.n_slices)
         for s, row_tiles in enumerate(self._tiles):
             plane = np.zeros(n, dtype=np.float64)
             for r_index, col_tiles in enumerate(row_tiles):
@@ -187,9 +295,64 @@ class CiMMatrix:
                     out = tile.matvec(chunk, quantize_output=quantize_output)
                     width = min(self.subarray_cols, n - c0)
                     plane[c0:c0 + width] += out[:width] * level_gain
-            total += plane * (base ** s)
+            total += plane * weights[s]
         # Remove the excess-32768 offset: every stored word carries +OFFSET.
         total -= _OFFSET * float(x.sum())
+        outputs = (total * self.codec.scale).astype(np.float32)
+        if not corrected:
+            return outputs
+        return self.mitigation.correct_output(self, outputs)
+
+    def matmat(self, queries: np.ndarray, *, quantize_output: bool = True,
+               corrected: bool = True) -> np.ndarray:
+        """Batched in-memory product ``X @ W`` for ``X`` of shape (B, d).
+
+        The vectorized layout evaluates the whole batch against every tile
+        with one batched matmul and one vectorized ADC pass; the reference
+        layout runs :meth:`matvec` per query.  Per-query physics is
+        unchanged either way: each query still bills one MVM per tile and
+        ``cols`` conversions per tile, so energy counters scale with the
+        batch width exactly as B sequential queries would.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2:
+            raise ValueError("matmat expects a (batch, rows) query matrix")
+        d, n = self.shape
+        if queries.shape[1] != d:
+            raise ValueError(
+                f"inputs of {queries.shape[1]} do not match matrix rows {d}")
+        if queries.shape[0] == 0:
+            raise ValueError("matmat needs at least one query")
+        if not self.vectorized:
+            outputs = np.stack([
+                self.matvec(row, quantize_output=quantize_output,
+                            corrected=False) for row in queries])
+            if not corrected:
+                return outputs
+            return self.mitigation.correct_output(self, outputs)
+
+        batch = queries.shape[0]
+        n_rt, n_ct = self.n_row_tiles, self.n_col_tiles
+        rows, cols = self.subarray_rows, self.subarray_cols
+        n_slices = self.n_slices
+        # Row chunks, zero-padded to the tile grid: (n_rt, B, rows).
+        chunks = np.zeros((batch, n_rt * rows), dtype=np.float32)
+        chunks[:, :d] = queries
+        chunks = np.ascontiguousarray(
+            chunks.reshape(batch, n_rt, rows).transpose(1, 0, 2))
+        # One GEMM + one vectorized ADC pass per row-tile group; a group's
+        # result blocks its columns per (slice, col_tile) in flat order.
+        grouped = self.bank.matmat_grouped(chunks, self._chunk_index(),
+                                           quantize_output=quantize_output)
+        # Shift-add: sum row-tile planes, weight the slices, crop padding.
+        planes = grouped[0].reshape(batch, n_slices, n_ct * cols)
+        planes = planes.astype(np.float64)
+        for part in grouped[1:]:
+            planes += part.reshape(batch, n_slices, n_ct * cols)
+        weights = slice_weights(self.device.bits_per_cell, n_slices)
+        weights = weights * (self.device.n_levels - 1)
+        total = np.tensordot(planes, weights, axes=(1, 0))[:, :n]
+        total -= _OFFSET * queries.sum(axis=1, dtype=np.float64)[:, None]
         outputs = (total * self.codec.scale).astype(np.float32)
         if not corrected:
             return outputs
@@ -199,23 +362,87 @@ class CiMMatrix:
         """Read the stored matrix back (noisy), shape (d, n) float32."""
         d, n = self.shape
         value = np.zeros((d, n), dtype=np.float64)
-        base = float(2 ** self.device.bits_per_cell)
-        for s, row_tiles in enumerate(self._tiles):
-            for r_index, col_tiles in enumerate(row_tiles):
-                r0 = r_index * self.subarray_rows
-                height = min(self.subarray_rows, d - r0)
-                for c_index, tile in enumerate(col_tiles):
-                    c0 = c_index * self.subarray_cols
-                    width = min(self.subarray_cols, n - c0)
-                    digits = tile.read_cells()
-                    value[r0:r0 + height, c0:c0 + width] += (
-                        digits[:height, :width] * (base ** s)
-                    )
+        weights = slice_weights(self.device.bits_per_cell, self.n_slices)
+        if self.vectorized:
+            digits = self.bank.read_cells()
+            grid = digits.reshape(self.n_slices, self.n_row_tiles,
+                                  self.n_col_tiles, self.subarray_rows,
+                                  self.subarray_cols)
+            for s in range(self.n_slices):
+                full = grid[s].transpose(0, 2, 1, 3).reshape(
+                    self.n_row_tiles * self.subarray_rows,
+                    self.n_col_tiles * self.subarray_cols)
+                value += full[:d, :n] * weights[s]
+        else:
+            for s, row_tiles in enumerate(self._tiles):
+                for r_index, col_tiles in enumerate(row_tiles):
+                    r0 = r_index * self.subarray_rows
+                    height = min(self.subarray_rows, d - r0)
+                    for c_index, tile in enumerate(col_tiles):
+                        c0 = c_index * self.subarray_cols
+                        width = min(self.subarray_cols, n - c0)
+                        digits = tile.read_cells()
+                        value[r0:r0 + height, c0:c0 + width] += (
+                            digits[:height, :width] * weights[s]
+                        )
         value -= _OFFSET
         decoded = self.codec.decode(value)
         if not corrected:
             return decoded
         return self.mitigation.correct_read(self, decoded)
+
+    def read_columns(self, col0: int, col1: int, *,
+                     corrected: bool = True) -> np.ndarray:
+        """Read back only columns ``[col0, col1)``, shape (d, col1-col0).
+
+        Touches (and bills ``cell_reads`` for) only the cells covering the
+        requested columns in the tiles that hold them — the restore path's
+        read, which a full :meth:`read_matrix` would overcount by the
+        whole store.  Values equal the same columns of
+        :meth:`read_matrix` exactly.
+        """
+        d, n = self.shape
+        if not 0 <= col0 < col1 <= n:
+            raise ValueError(f"column range [{col0}, {col1}) outside "
+                             f"[0, {n})")
+        cols = self.subarray_cols
+        value = np.zeros((d, col1 - col0), dtype=np.float64)
+        weights = slice_weights(self.device.bits_per_cell, self.n_slices)
+        for ct in range(col0 // cols, (col1 - 1) // cols + 1):
+            lo, hi = max(col0 - ct * cols, 0), min(col1 - ct * cols, cols)
+            out0 = ct * cols + lo - col0
+            if self.vectorized:
+                # Flat bank index is (slice * n_rt + row_tile) * n_ct + ct.
+                tiles = (np.arange(self.n_slices * self.n_row_tiles)
+                         * self.n_col_tiles + ct)
+                digits = self.bank.read_cells(tiles=tiles, col0=lo, col1=hi)
+                digits = digits.reshape(self.n_slices,
+                                        self.n_row_tiles * self.subarray_rows,
+                                        hi - lo)
+                for s in range(self.n_slices):
+                    value[:, out0:out0 + hi - lo] += (
+                        digits[s, :d] * weights[s])
+            else:
+                for s, row_tiles in enumerate(self._tiles):
+                    for r_index, col_tiles in enumerate(row_tiles):
+                        r0 = r_index * self.subarray_rows
+                        height = min(self.subarray_rows, d - r0)
+                        digits = col_tiles[ct].read_cells_range(lo, hi)
+                        value[r0:r0 + height, out0:out0 + hi - lo] += (
+                            digits[:height] * weights[s])
+        value -= _OFFSET
+        decoded = self.codec.decode(value)
+        if not corrected:
+            return decoded
+        hook = getattr(self.mitigation, "correct_read_columns", None)
+        if hook is not None:
+            return hook(self, decoded, col0, col1)
+        # Mitigation predates column-range reads: route the slice through
+        # its full-width read correction (column-wise corrections ignore
+        # the zero padding outside the requested range).
+        padded = np.zeros(self.shape, dtype=decoded.dtype)
+        padded[:, col0:col1] = decoded
+        return self.mitigation.correct_read(self, padded)[:, col0:col1]
 
     def ideal_matrix(self) -> np.ndarray:
         """The noise-free stored values (after int16 quantization)."""

@@ -96,12 +96,20 @@ CPU_JETSON_ORIN = CpuCostModel(name="JetsonOrinCPU",
 
 @dataclass(frozen=True)
 class RetrievalCostReport:
-    """Cost of retrieving one OVT among ``n_ovts`` candidates."""
+    """Cost of retrieving among ``n_ovts`` candidates.
+
+    ``latency_ns``/``energy_pj`` are totals for ``n_queries`` retrievals;
+    the default batch of one keeps the report per-query, which is what the
+    serving telemetry attaches to each answer.  Batching amortises host
+    dispatch, not the analog physics: every query still activates every
+    tile once per scale, so totals scale linearly with the batch width.
+    """
 
     backend: str
     n_ovts: int
     latency_ns: float
     energy_pj: float
+    n_queries: int = 1
 
     @property
     def latency_s(self) -> float:
@@ -110,6 +118,18 @@ class RetrievalCostReport:
     @property
     def energy_j(self) -> float:
         return self.energy_pj * 1e-12
+
+    def per_query(self) -> "RetrievalCostReport":
+        """The same cost normalised to a single retrieval."""
+        if self.n_queries == 1:
+            return self
+        return RetrievalCostReport(
+            backend=self.backend,
+            n_ovts=self.n_ovts,
+            latency_ns=self.latency_ns / self.n_queries,
+            energy_pj=self.energy_pj / self.n_queries,
+            n_queries=1,
+        )
 
 
 def _search_geometry(n_ovts: int, code_rows: int, n_slices: int,
@@ -128,13 +148,20 @@ def retrieval_cost(
     n_slices: int = 8,             # int16 on 2-bit cells
     scales: tuple[int, ...] = (1, 2, 4),
     bytes_per_ovt: float = 1536.0,  # 16 x 48 x int16
+    n_queries: int = 1,
 ) -> RetrievalCostReport:
-    """Cost of one scaled-search query over ``n_ovts`` stored OVTs.
+    """Cost of scaled-search queries over ``n_ovts`` stored OVTs.
 
-    ``backend`` is "RRAM", "FeFET" or "CPU".
+    ``backend`` is "RRAM", "FeFET" or "CPU".  ``n_queries`` prices a
+    batch: the analog (or CPU) work per query is unchanged — a batched
+    GMM still performs one MVM per tile per query — so totals scale
+    linearly and :meth:`RetrievalCostReport.per_query` recovers the
+    single-query figures the serving telemetry reports.
     """
     if n_ovts <= 0:
         raise ValueError("n_ovts must be positive")
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
     if backend in CIM_TECH:
         tech = CIM_TECH[backend]
         latency = 0.0
@@ -143,12 +170,14 @@ def retrieval_cost(
             tiles = _search_geometry(n_ovts, code_rows // scale, n_slices)
             latency += tech.mvm_latency_ns(tiles)
             energy += tech.mvm_energy_pj(tiles)
-        return RetrievalCostReport(backend, n_ovts, latency, energy)
+        return RetrievalCostReport(backend, n_ovts, latency * n_queries,
+                                   energy * n_queries, n_queries)
     if backend == "CPU":
         values_per_ovt = sum(code_rows // s for s in scales)
         macs = float(n_ovts) * values_per_ovt
         bytes_moved = macs * 2.0  # int16 stream of every scaled copy
         latency = CPU_JETSON_ORIN.latency_ns(macs, bytes_moved)
         energy = CPU_JETSON_ORIN.energy_pj(macs, bytes_moved)
-        return RetrievalCostReport(backend, n_ovts, latency, energy)
+        return RetrievalCostReport(backend, n_ovts, latency * n_queries,
+                                   energy * n_queries, n_queries)
     raise ValueError(f"unknown backend {backend!r}; use RRAM, FeFET or CPU")

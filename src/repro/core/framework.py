@@ -90,6 +90,7 @@ class FrameworkConfig:
     noise_factors: tuple[float, float, float, float] = (1.0, 1.6, 1.6, 1.0)
     search: SearchConfig | None = None    # derived from `retrieval` if None
     on_cim: bool = True                   # False = ideal digital store
+    vectorized: bool = True               # stacked TileBank vs per-tile sim
     seed: int = 0
 
     def __post_init__(self):
@@ -297,6 +298,7 @@ class NVCiMDeployment:
             config=config.search_config(),
             mitigation=mitigation,
             on_cim=config.on_cim,
+            vectorized=config.vectorized,
             rng=derive_rng(config.seed, "deployment", config.device_name,
                            config.mitigation, config.retrieval),
         )

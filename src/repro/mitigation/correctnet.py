@@ -68,9 +68,21 @@ class CorrectNetMitigation:
         return slope, intercept
 
     def correct_output(self, matrix, outputs: np.ndarray) -> np.ndarray:
+        """Invert the per-column slope; ``outputs`` may be (n,) or (B, n).
+
+        The slope broadcasts over a trailing column axis, so batched MVMs
+        from the stacked tile layout are corrected per query exactly as B
+        sequential outputs would be.
+        """
         slope, _ = self._coeffs(matrix)
         return outputs / slope
 
     def correct_read(self, matrix, values: np.ndarray) -> np.ndarray:
         slope, intercept = self._coeffs(matrix)
         return (values - intercept[None, :]) / slope[None, :]
+
+    def correct_read_columns(self, matrix, values: np.ndarray,
+                             col0: int, col1: int) -> np.ndarray:
+        slope, intercept = self._coeffs(matrix)
+        return ((values - intercept[None, col0:col1])
+                / slope[None, col0:col1])

@@ -45,7 +45,17 @@ class CxDNNCompensation:
         return gain
 
     def correct_output(self, matrix, outputs: np.ndarray) -> np.ndarray:
+        """Apply the per-column gains; ``outputs`` may be (n,) or (B, n).
+
+        The gain vector broadcasts over a trailing column axis, so batched
+        MVMs from the stacked tile layout are corrected per query exactly
+        as B sequential outputs would be.
+        """
         return outputs * self._gain(matrix)
 
     def correct_read(self, matrix, values: np.ndarray) -> np.ndarray:
         return values * self._gain(matrix)[None, :]
+
+    def correct_read_columns(self, matrix, values: np.ndarray,
+                             col0: int, col1: int) -> np.ndarray:
+        return values * self._gain(matrix)[None, col0:col1]

@@ -5,6 +5,12 @@ cells) whose error actually matters.  In a bit-sliced int16 layout the error
 contribution of a cell grows with its positional weight, so SWV verifies the
 most-significant slices only, re-pulsing cells whose conductance deviates
 from the target by more than a tolerance.
+
+Both ``CiMMatrix`` layouts are supported: the vectorized path verifies all
+tiles of the MSB slices with stacked reads and one masked re-pulse per
+round, the reference path walks tile objects.  Because each tile draws
+noise from its own spawned generator, the two produce bit-identical
+conductances and identical operation counters.
 """
 
 from __future__ import annotations
@@ -36,6 +42,9 @@ class SelectiveWriteVerify:
 
     # ------------------------------------------------------------------
     def post_program(self, matrix) -> None:
+        if getattr(matrix, "vectorized", False):
+            self._post_program_bank(matrix)
+            return
         first_verified = matrix.n_slices - self.verify_slices
         for slice_index, tile in matrix.iter_tiles_with_slice():
             if slice_index < first_verified:
@@ -49,6 +58,35 @@ class SelectiveWriteVerify:
                     break
                 tile.reprogram_cells(mask)
 
+    def _post_program_bank(self, matrix) -> None:
+        """Verify the MSB slices on the stacked layout.
+
+        Per round: one stacked read of the still-active tiles, one masked
+        re-pulse of those whose error exceeds the tolerance.  Tiles drop
+        out of the round loop as soon as they pass, exactly like the
+        per-tile reference — reads, re-pulse counts and noise draws match
+        it one for one.
+        """
+        bank = matrix.bank
+        first_verified = max(matrix.n_slices - self.verify_slices, 0)
+        active = np.concatenate([
+            matrix.slice_tile_indices(s)
+            for s in range(first_verified, matrix.n_slices)
+        ])
+        level_values = bank.device.level_values()
+        level_gain = bank.device.n_levels - 1
+        for _ in range(self.max_iterations):
+            if active.size == 0:
+                break
+            read = bank.read_cells(tiles=active) / level_gain
+            target = level_values[bank.target_levels[active]]
+            masks = np.abs(read - target) > self.tolerance_levels
+            failing = masks.any(axis=(1, 2))
+            if not failing.any():
+                break
+            bank.reprogram_cells(masks[failing], tiles=active[failing])
+            active = active[failing]
+
     def prepare_values(self, values: np.ndarray) -> np.ndarray:
         return values
 
@@ -56,4 +94,8 @@ class SelectiveWriteVerify:
         return outputs
 
     def correct_read(self, matrix, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def correct_read_columns(self, matrix, values: np.ndarray,
+                             col0: int, col1: int) -> np.ndarray:
         return values

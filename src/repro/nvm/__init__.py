@@ -1,6 +1,6 @@
 """NVM device models, quantization and crossbar-array simulation."""
 
-from .crossbar import CrossbarArray, CrossbarStats
+from .crossbar import CrossbarArray, CrossbarStats, TileBank, TileView
 from .device_models import (
     NVM_DEVICES,
     register_device,
@@ -9,12 +9,17 @@ from .device_models import (
     available_devices,
     get_device,
 )
-from .quantize import Int16Codec, digits_to_values, slice_to_digits
+from .quantize import (
+    Int16Codec,
+    digits_to_values,
+    slice_to_digits,
+    slice_weights,
+)
 
 __all__ = [
     "NVMDevice", "NVM_DEVICES", "get_device", "available_devices",
     "register_device",
     "REFERENCE_SIGMA",
-    "Int16Codec", "slice_to_digits", "digits_to_values",
-    "CrossbarArray", "CrossbarStats",
+    "Int16Codec", "slice_to_digits", "digits_to_values", "slice_weights",
+    "CrossbarArray", "CrossbarStats", "TileBank", "TileView",
 ]

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Int16Codec", "slice_to_digits", "digits_to_values"]
+__all__ = ["Int16Codec", "slice_to_digits", "digits_to_values",
+           "slice_weights"]
 
 _INT16_MIN, _INT16_MAX = -32768, 32767
 _OFFSET = 32768  # excess-32768 representation keeps digits unsigned
@@ -38,6 +39,20 @@ def slice_to_digits(ints: np.ndarray, bits_per_cell: int) -> np.ndarray:
         digits[s] = remaining % base
         remaining //= base
     return digits
+
+
+def slice_weights(bits_per_cell: int, n_slices: int) -> np.ndarray:
+    """Positional weight of each bit-slice, LSB first (float64).
+
+    ``weights[s] = (2 ** bits_per_cell) ** s`` — the shift-add factors the
+    digital periphery applies when recombining per-slice column currents.
+    """
+    if bits_per_cell <= 0:
+        raise ValueError("bits_per_cell must be positive")
+    if n_slices <= 0:
+        raise ValueError("n_slices must be positive")
+    base = float(2 ** bits_per_cell)
+    return base ** np.arange(n_slices, dtype=np.float64)
 
 
 def digits_to_values(digits: np.ndarray, bits_per_cell: int) -> np.ndarray:

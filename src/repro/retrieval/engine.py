@@ -8,17 +8,24 @@ The Weighted Multi-Scale Dot Product (Eq. 5) is
 
 with scales {1, 2, 4} and weights {1.0, 0.8, 0.6}; MIPS is the degenerate
 single-scale, weight-1 case (a plain max-inner-product search).
+
+Queries batch end to end: :meth:`CiMSearchEngine.query_batch` scores every
+pending query against every scale with one :meth:`CiMMatrix.matmat` per
+scale, and :meth:`CiMSearchEngine.query` is the batch-of-one case of the
+same path, so batched and sequential scores agree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..cim.accelerator import CiMMatrix, MitigationHooks
+from ..nvm.crossbar import CrossbarStats
 from ..nvm.device_models import NVMDevice
-from ..utils import Registry
+from ..utils import Registry, spawn_generators
 from .pooling import multi_scale_vectors
 
 __all__ = ["SearchConfig", "SSA_CONFIG", "MIPS_CONFIG", "CiMSearchEngine",
@@ -118,6 +125,7 @@ class CiMSearchEngine:
         config: SearchConfig = SSA_CONFIG,
         mitigation: MitigationHooks | None = None,
         on_cim: bool = True,
+        vectorized: bool = True,
         rng: np.random.Generator | None = None,
     ):
         self.device = device
@@ -125,6 +133,7 @@ class CiMSearchEngine:
         self.config = config
         self.mitigation = mitigation
         self.on_cim = on_cim
+        self.vectorized = vectorized
         self._rng = rng or np.random.default_rng(0)
         self._scale_matrices: dict[int, CiMMatrix] = {}
         self._digital_vectors: dict[int, np.ndarray] = {}
@@ -151,6 +160,11 @@ class CiMSearchEngine:
         self._scale_matrices.clear()
         self._digital_vectors.clear()
         self._norms = {}
+        # One spawned stream per scale store: a store's programming noise
+        # depends only on its position in the build, not on how many
+        # tiles (hence draws) the stores built before it needed.
+        store_rngs = iter(spawn_generators(self._rng,
+                                           len(self.config.scales)))
         for scale in self.config.scales:
             columns = []
             norms = []
@@ -168,25 +182,47 @@ class CiMSearchEngine:
                 self._scale_matrices[scale] = CiMMatrix(
                     stacked, self.device, sigma=self.sigma,
                     adc_bits=self.config.adc_bits,
-                    mitigation=self.mitigation, rng=self._rng,
+                    mitigation=self.mitigation, rng=next(store_rngs),
+                    vectorized=self.vectorized,
                 )
             else:
                 self._digital_vectors[scale] = stacked
 
     def query(self, encoded_query: np.ndarray) -> np.ndarray:
-        """WMSDP similarity of the query against every stored OVT."""
+        """WMSDP similarity of the query against every stored OVT.
+
+        The batch-of-one case of :meth:`query_batch`, so a query scores
+        identically whether it arrives alone or in a batch.
+        """
+        return self.query_batch([encoded_query])[0]
+
+    def query_batch(self, encoded_queries: Sequence[np.ndarray]) -> np.ndarray:
+        """Scores of many queries at once, shape (batch, n_stored).
+
+        All queries are pooled, stacked per scale and scored against each
+        scale's store with a single :meth:`CiMMatrix.matmat` — one batched
+        in-memory GMM per scale instead of ``batch x scales`` matvecs.
+        Row ``i`` equals ``query(encoded_queries[i])``.
+        """
         self._require_built()
-        vectors = multi_scale_vectors(encoded_query, self.config.scales,
+        if len(encoded_queries) == 0:
+            raise ValueError("query_batch needs at least one query")
+        pooled = [multi_scale_vectors(q, self.config.scales,
                                       self.config.pad_length)
-        total = np.zeros(self._count, dtype=np.float64)
+                  for q in encoded_queries]
+        total = np.zeros((len(pooled), self._count), dtype=np.float64)
         for scale, weight in zip(self.config.scales, self.config.weights):
-            vector = vectors[scale]
+            rows = [vectors[scale] for vectors in pooled]
             if self.config.normalize_scales:
-                vector = _unit(vector)
+                rows = [_unit(row) for row in rows]
+            stacked = np.stack(rows)
             if self.on_cim:
-                similarity = self._scale_matrices[scale].matvec(vector)
+                similarity = self._scale_matrices[scale].matmat(stacked)
             else:
-                similarity = vector @ self._digital_vectors[scale]
+                # Per-row gemv keeps the digital baseline bit-identical to
+                # sequential queries regardless of the batch width.
+                store = self._digital_vectors[scale]
+                similarity = np.stack([row @ store for row in stacked])
             total += weight * similarity.astype(np.float64)
         return (total / sum(self.config.weights)).astype(np.float32)
 
@@ -194,18 +230,34 @@ class CiMSearchEngine:
         """Index of the best-matching stored OVT."""
         return int(np.argmax(self.query(encoded_query)))
 
+    def retrieve_batch(self,
+                       encoded_queries: Sequence[np.ndarray]) -> list[int]:
+        """Best-match index per query; ties resolve like :meth:`retrieve`.
+
+        ``np.argmax`` picks the first maximum along each row, so a batch
+        returns exactly the indices the equivalent sequential
+        :meth:`retrieve` calls would.
+        """
+        scores = self.query_batch(encoded_queries)
+        return [int(i) for i in np.argmax(scores, axis=1)]
+
     def restore(self, index: int) -> np.ndarray:
-        """Read OVT ``index`` back from NVM (noisy), (tokens, code_dim)."""
+        """Read OVT ``index`` back from NVM (noisy), (tokens, code_dim).
+
+        Only the tiles covering the stored column are read (a column-range
+        read), so ``cell_reads`` bills the restore for exactly the cells
+        it touches instead of the entire scale-1 store.
+        """
         self._require_built()
         if not 0 <= index < self._count:
             raise IndexError(f"OVT index {index} out of range")
         if 1 not in self.config.scales:
             raise RuntimeError("restore requires the scale-1 store")
         if self.on_cim:
-            matrix = self._scale_matrices[1].read_matrix()
+            column = self._scale_matrices[1].read_columns(index, index + 1)
+            column = column[:, 0]
         else:
-            matrix = self._digital_vectors[1]
-        column = matrix[:, index]
+            column = self._digital_vectors[1][:, index]
         if self.config.normalize_scales:
             # Stored columns are unit vectors; the norm travels digitally.
             column = column * self._norms[1][index]
@@ -219,6 +271,18 @@ class CiMSearchEngine:
         if not self.on_cim:
             return 0
         return sum(m.n_subarrays for m in self._scale_matrices.values())
+
+    def aggregate_stats(self) -> CrossbarStats:
+        """Operation counters summed over every scale's store.
+
+        On the vectorized layout each store sums its bank's counter
+        vectors, so this is cheap enough for per-request serving
+        telemetry.  Digital stores report all-zero counters.
+        """
+        total = CrossbarStats()
+        for matrix in self._scale_matrices.values():
+            total.add(matrix.aggregate_stats())
+        return total
 
     def _require_built(self) -> None:
         if self._count == 0:

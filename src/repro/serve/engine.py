@@ -22,6 +22,15 @@ KV prefill and every token is a single-position forward.  Incremental
 decoding emits exactly the tokens the full-reforward loop would, so this
 changes latency, not answers.
 
+Retrieval batches the same way the decode loop does: when ``answer_batch``
+admits a user's queries, all of their query texts are scored in one
+:meth:`~repro.retrieval.CiMSearchEngine.query_batch` call — a single
+batched in-memory GMM per scale against that user's crossbars — instead
+of one scaled search per request.  Because single-query retrieval is the
+batch-of-one case of the same path, per-request telemetry (scores, OVT
+index, and the analytic per-query cost estimate) is unchanged, and the
+crossbar operation counters still bill every query individually.
+
 On top of that sits cross-user continuous batching: ``answer_batch``
 admits every query into one :class:`~repro.llm.generation.DecodeScheduler`
 and :meth:`PromptServeEngine.run_decode_round` advances *all* pending
@@ -43,6 +52,7 @@ from typing import Callable
 import numpy as np
 
 from ..cim.energy import RetrievalCostReport, retrieval_cost
+from ..nvm.crossbar import CrossbarStats
 from ..core.framework import FrameworkConfig, NVCiMDeployment, OVTLibrary
 from ..data.lamp import Sample
 from ..llm.generation import (
@@ -104,6 +114,7 @@ class PromptServeEngine:
         self.evicted_sessions = 0
         self.requests_served = 0
         self._evicted_prefill_hits = 0   # keeps stats monotonic across LRU
+        self._evicted_cim = CrossbarStats()  # same, for crossbar counters
         # One continuous-batching decoder for the engine's lifetime: its
         # round/token/occupancy counters are the serving telemetry, and
         # pending generations from different calls share rounds.
@@ -134,6 +145,7 @@ class PromptServeEngine:
             # slot.
             _, evicted = self._sessions.popitem(last=False)
             self._evicted_prefill_hits += evicted.prefill_hits
+            self._evicted_cim.add(evicted.cim_stats())
             self.evicted_sessions += 1
         return session
 
@@ -181,6 +193,7 @@ class PromptServeEngine:
         if session is None:
             return False
         self._evicted_prefill_hits += session.prefill_hits
+        self._evicted_cim.add(session.cim_stats())
         if cancel_pending:
             for pending in [p for p in self._pending
                             if p._session is session]:
@@ -199,6 +212,14 @@ class PromptServeEngine:
         """
         scheduler = self._scheduler
         rounds = scheduler.rounds
+        cim = CrossbarStats().add(self._evicted_cim)
+        for session in self._sessions.values():
+            # Vectorized banks sum their counter vectors, so aggregating
+            # on every stats() call stays cheap on the serve path.  The
+            # evicted/retired baselines keep these counters cumulative
+            # (monotonic) across LRU eviction and retraining, like the
+            # decode counters beside them.
+            cim.add(session.cim_stats())
         return {
             "active_sessions": len(self._sessions),
             "max_sessions": self.max_sessions,
@@ -217,6 +238,10 @@ class PromptServeEngine:
                                  if rounds else 0.0),
             "batch_occupancy": (scheduler.occupancy_sum / rounds
                                 if rounds else 0.0),
+            "cim_mvm_ops": cim.mvm_ops,
+            "cim_adc_conversions": cim.adc_conversions,
+            "cim_cell_reads": cim.cell_reads,
+            "cim_write_pulses": cim.write_pulses,
         }
 
     # ------------------------------------------------------------------
@@ -317,10 +342,17 @@ class PromptServeEngine:
                 deployment = session.deployment()
                 user_codes: dict[str, np.ndarray] = {}
                 user_prompts: dict[int, np.ndarray] = {}
+                # One batched in-memory search scores every query text
+                # this user contributed to the batch.
+                retrievals = self._retrieve_batch(
+                    deployment,
+                    [requests[position].text for position in positions],
+                    user_codes)
                 for position in positions:
                     pendings[position] = self._admit_one(
                         session, deployment, requests[position],
-                        user_codes, user_prompts)
+                        user_codes, user_prompts,
+                        retrieval=retrievals[requests[position].text])
         finally:
             # Even if a later user's admission fails (e.g. no resident
             # session), already-admitted queries are drained to completion
@@ -372,6 +404,29 @@ class PromptServeEngine:
         return int(np.argmax(scores)), scores
 
     @staticmethod
+    def _retrieve_batch(
+        deployment: NVCiMDeployment, texts: list[str],
+        code_cache: dict[str, np.ndarray],
+    ) -> dict[str, tuple[int, np.ndarray]]:
+        """Batched in-memory search over the pending query texts.
+
+        All texts are encoded (memoised in ``code_cache``) and scored
+        against every scale's store with one
+        :meth:`~repro.retrieval.CiMSearchEngine.query_batch` call; each
+        text maps to the (best index, per-OVT scores) pair the equivalent
+        single :meth:`_retrieve` would return.  Repeated texts keep their
+        own batch rows (identical bit for bit), so the crossbar counters
+        bill exactly the MVMs the sequential reference would.
+        """
+        for text in texts:
+            if text not in code_cache:
+                code_cache[text] = deployment.encode_query(text)
+        scores = deployment.engine.query_batch(
+            [code_cache[text] for text in texts])
+        return {text: (int(np.argmax(row)), row)
+                for text, row in zip(texts, scores)}
+
+    @staticmethod
     def _prompt_restorer(deployment: NVCiMDeployment, index: int,
                          prompt_cache: dict[int, np.ndarray],
                          ) -> Callable[[], np.ndarray]:
@@ -416,15 +471,23 @@ class PromptServeEngine:
     def _admit_one(self, session: UserSession, deployment: NVCiMDeployment,
                    request: QueryRequest,
                    code_cache: dict[str, np.ndarray],
-                   prompt_cache: dict[int, np.ndarray]) -> PendingQuery:
+                   prompt_cache: dict[int, np.ndarray],
+                   retrieval: tuple[int, np.ndarray] | None = None,
+                   ) -> PendingQuery:
         """Retrieve/restore/prefill one query and admit it to the decoder.
 
-        Retrieval telemetry and the analytic cost are snapshotted now so
-        the eventual response matches the sequential path even if the
-        session is evicted (or retrained) while the answer is in flight.
+        ``retrieval`` carries a precomputed (index, scores) pair when the
+        caller already ran a batched search; otherwise admission runs its
+        own batch-of-one search.  Retrieval telemetry and the analytic
+        cost are snapshotted now so the eventual response matches the
+        sequential path even if the session is evicted (or retrained)
+        while the answer is in flight.
         """
         text = request.text
-        index, scores = self._retrieve(deployment, text, code_cache)
+        if retrieval is None:
+            retrieval = self._retrieve_batch(
+                deployment, [text], code_cache)[text]
+        index, scores = retrieval
         generation = request.generation or self.default_generation()
         state = session.prefill_state(
             text, index, self._prompt_restorer(deployment, index, prompt_cache))

@@ -31,6 +31,7 @@ from ..core.framework import (
     OVTTrainingPipeline,
 )
 from ..data.lamp import Sample
+from ..nvm.crossbar import CrossbarStats
 from ..llm.generation import GenerationConfig, PrefillState, prefill
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
@@ -57,6 +58,10 @@ class UserSession:
         self.epochs_completed = 0
         self.queries_served = 0
         self.prefill_hits = 0
+        # Crossbar counters of deployments this session has retired
+        # (training/adoption reprograms fresh matrices); cim_stats() adds
+        # the live deployment so the session's totals stay cumulative.
+        self._retired_cim = CrossbarStats()
         # Generations admitted to the engine's decoder and not yet retired.
         # In-flight decode state is owned by the sequences themselves, so
         # this counter is telemetry (and an eviction-policy input), not a
@@ -90,7 +95,7 @@ class UserSession:
         fired = self.pipeline.observe(sample)
         if fired:
             self.epochs_completed += 1
-            self._deployment = None   # library changed; reprogram lazily
+            self._retire_deployment()  # library changed; reprogram lazily
             self._prefill_states.clear()  # restored prompts change too
         return fired
 
@@ -101,8 +106,23 @@ class UserSession:
     def adopt_library(self, library: OVTLibrary) -> None:
         """Serve a library trained elsewhere (e.g. restored from storage)."""
         self.pipeline.library = library
-        self._deployment = None
+        self._retire_deployment()
         self._prefill_states.clear()
+
+    def _retire_deployment(self) -> None:
+        """Invalidate the deployment, banking its crossbar counters."""
+        if self._deployment is not None:
+            self._retired_cim.add(self._deployment.engine.aggregate_stats())
+        self._deployment = None
+
+    def cim_stats(self) -> CrossbarStats:
+        """Cumulative crossbar counters: retired deployments + the live
+        one.  Monotonic across retraining, unlike reading the current
+        deployment's counters directly."""
+        total = CrossbarStats().add(self._retired_cim)
+        if self._deployment is not None:
+            total.add(self._deployment.engine.aggregate_stats())
+        return total
 
     # ------------------------------------------------------------------
     # Inference mode

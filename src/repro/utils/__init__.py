@@ -3,6 +3,7 @@ primitive every pluggable axis (models, devices, mitigations, retrieval
 strategies) is built on."""
 
 from .registry import Registry
-from .rng import derive_rng, rng_from_seed, spawn_seeds
+from .rng import derive_rng, rng_from_seed, spawn_generators, spawn_seeds
 
-__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds", "Registry"]
+__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds",
+           "spawn_generators", "Registry"]

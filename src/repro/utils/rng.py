@@ -12,7 +12,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds"]
+__all__ = ["rng_from_seed", "derive_rng", "spawn_seeds", "spawn_generators"]
 
 
 def rng_from_seed(seed: int) -> np.random.Generator:
@@ -40,3 +40,23 @@ def spawn_seeds(seed: int, count: int, *labels: str | int) -> list[int]:
     """Derive ``count`` independent integer seeds below 2**31."""
     rng = derive_rng(seed, *labels, "spawn")
     return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]
+
+
+def spawn_generators(rng: np.random.Generator,
+                     count: int) -> list[np.random.Generator]:
+    """Spawn ``count`` independent child generators from ``rng``.
+
+    Children are derived through the generator's ``SeedSequence`` (so the
+    parent's bit stream is untouched and successive spawns from the same
+    parent never repeat), giving each consumer — e.g. each crossbar tile —
+    its own stream whose draws do not depend on how many values *other*
+    consumers drew first.  Falls back to stream-derived integer seeds for
+    generators built without a seed sequence.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    try:
+        return list(rng.spawn(count))
+    except (AttributeError, TypeError):
+        seeds = rng.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]

@@ -219,3 +219,84 @@ class TestCiMSearchEngine:
         engine.build(fresh)
         assert engine.n_stored == 2
         assert engine.retrieve(fresh[1]) == 1
+
+
+class TestBatchedQueries:
+    def _ovts(self, n=6, rows=8, dim=12):
+        return [RNG.normal(size=(rows, dim)).astype(np.float32)
+                for _ in range(n)]
+
+    def _engine(self, sigma=0.0, config=SSA_CONFIG, on_cim=True,
+                vectorized=True, seed=0):
+        return CiMSearchEngine(get_device("NVM-3"), sigma=sigma,
+                               config=config, on_cim=on_cim,
+                               vectorized=vectorized,
+                               rng=np.random.default_rng(seed))
+
+    def _queries(self, n=5):
+        return [RNG.normal(size=(rows, 12)).astype(np.float32)
+                for rows in range(6, 6 + n)]
+
+    @pytest.mark.parametrize("on_cim", [True, False])
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_batch_matches_sequential(self, on_cim, vectorized):
+        engine = self._engine(sigma=0.1, on_cim=on_cim,
+                              vectorized=vectorized)
+        engine.build(self._ovts())
+        queries = self._queries()
+        batched = engine.query_batch(queries)
+        sequential = np.stack([engine.query(q) for q in queries])
+        np.testing.assert_allclose(batched, sequential,
+                                   rtol=1e-5, atol=1e-6)
+        assert engine.retrieve_batch(queries) == \
+            [engine.retrieve(q) for q in queries]
+
+    def test_batched_scores_bitwise_stable_on_cim(self):
+        """Batch width must not change a query's score (the serve layer
+        snapshots scores into responses, sequential or batched)."""
+        engine = self._engine(sigma=0.1)
+        engine.build(self._ovts())
+        queries = self._queries(4)
+        batched = engine.query_batch(queries)
+        for i, q in enumerate(queries):
+            np.testing.assert_array_equal(batched[i], engine.query(q))
+
+    def test_retrieve_batch_breaks_ties_like_sequential(self):
+        """Duplicate OVTs score exact ties on the digital store; argmax
+        must resolve them identically in both paths."""
+        ovt = RNG.normal(size=(8, 12)).astype(np.float32)
+        engine = self._engine(on_cim=False)
+        engine.build([ovt.copy(), ovt.copy(), ovt.copy()])
+        queries = [ovt, ovt + 0.1, ovt * 2.0]
+        assert engine.retrieve_batch(queries) == \
+            [engine.retrieve(q) for q in queries] == [0, 0, 0]
+
+    def test_empty_batch_rejected(self):
+        engine = self._engine()
+        engine.build(self._ovts(2))
+        with pytest.raises(ValueError):
+            engine.query_batch([])
+
+    def test_restore_reads_only_covering_tiles(self):
+        engine = self._engine(sigma=0.0)
+        engine.build(self._ovts(4))
+        before = engine.aggregate_stats().cell_reads
+        engine.restore(2)
+        delta = engine.aggregate_stats().cell_reads - before
+        scale1 = engine._scale_matrices[1]
+        full_read = scale1.n_subarrays * 384 * 128
+        # One column out of a 128-column tile: a sliver of the store.
+        assert 0 < delta == scale1.n_slices * scale1.n_row_tiles * 384
+        assert delta < full_read / 100
+
+    def test_aggregate_stats_layout_parity(self):
+        ovts = self._ovts(4)
+        queries = self._queries(3)
+        totals = []
+        for vectorized in (False, True):
+            engine = self._engine(sigma=0.1, vectorized=vectorized)
+            engine.build(ovts)
+            engine.query_batch(queries)
+            engine.restore(1)
+            totals.append(engine.aggregate_stats())
+        assert totals[0] == totals[1]

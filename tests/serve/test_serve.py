@@ -445,3 +445,78 @@ class TestRegistries:
         from repro.mitigation import MITIGATION_REGISTRY
         with pytest.raises(KeyError, match="correctnet"):
             MITIGATION_REGISTRY["nope"]
+
+
+class TestCiMTelemetry:
+    def test_stats_expose_crossbar_counters(self, trained_engine, setup):
+        """The serve dashboard aggregates each deployment's operation
+        counters (vectorially summed from the tile banks)."""
+        _, tok = setup
+        text = stream_for(0, 1)[0].input_text
+        trained_engine.query(QueryRequest(
+            user_id=0, text=text, generation=fast_generation(tok)))
+        stats = trained_engine.stats()
+        assert stats["cim_mvm_ops"] > 0
+        assert stats["cim_adc_conversions"] > 0
+        assert stats["cim_write_pulses"] > 0
+        before = stats["cim_mvm_ops"]
+        trained_engine.query(QueryRequest(
+            user_id=0, text=text + " again",
+            generation=fast_generation(tok)))
+        assert trained_engine.stats()["cim_mvm_ops"] > before
+
+    def test_cim_counters_monotonic_across_retrain_and_drop(self, setup):
+        """Crossbar counters are cumulative: retraining reprograms fresh
+        matrices and dropping evicts the session, but the engine banks the
+        retired deployments' counters instead of forgetting them."""
+        model, tok = setup
+        engine = PromptServeEngine(model, tok, fast_config(), max_sessions=2)
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10))))
+        text = stream_for(0, 1)[0].input_text
+        engine.query(QueryRequest(user_id=0, text=text,
+                                  generation=fast_generation(tok)))
+        first = engine.stats()["cim_mvm_ops"]
+        assert first > 0
+        # Retrain: the old deployment retires, its counters are banked.
+        engine.submit(TuneRequest(user_id=0,
+                                  samples=tuple(stream_for(0, 10, seed=7))))
+        engine.query(QueryRequest(user_id=0, text=text,
+                                  generation=fast_generation(tok)))
+        after_retrain = engine.stats()["cim_mvm_ops"]
+        assert after_retrain > first
+        # Drop: the session leaves, the totals must not run backwards.
+        engine.drop_session(0)
+        assert engine.stats()["cim_mvm_ops"] >= after_retrain
+
+    def test_batched_retrieval_bills_like_sequential(self, setup):
+        """Duplicate texts in a batch bill one search each, exactly as
+        the sequential reference path would."""
+        model, tok = setup
+        deltas = []
+        for batched in (False, True):
+            engine = PromptServeEngine(model, tok, fast_config(),
+                                       max_sessions=2)
+            engine.submit(TuneRequest(user_id=0,
+                                      samples=tuple(stream_for(0, 10))))
+            text = stream_for(0, 1)[0].input_text
+            requests = [QueryRequest(user_id=0, text=text,
+                                     generation=fast_generation(tok))] * 3
+            engine.session(0).deployment()   # program outside measurement
+            before = engine.stats()["cim_mvm_ops"]
+            engine.answer_batch(requests, batched=batched)
+            deltas.append(engine.stats()["cim_mvm_ops"] - before)
+        assert deltas[0] == deltas[1] > 0
+
+    def test_restore_reads_stay_bounded(self, trained_engine, setup):
+        """Restores bill only the covering column, so cell reads stay far
+        below one full store read per query."""
+        _, tok = setup
+        session = trained_engine.session(0)
+        deployment = session.deployment()
+        engine = deployment.engine
+        scale1 = engine._scale_matrices[1]
+        before = engine.aggregate_stats().cell_reads
+        engine.restore(0)
+        delta = engine.aggregate_stats().cell_reads - before
+        assert 0 < delta < scale1.n_subarrays * 384 * 128 / 100
