@@ -1,0 +1,247 @@
+"""HTTP gateway under trace-driven load: latency percentiles + tokens/s.
+
+The serving story end to end: a :class:`PromptGateway` (asyncio HTTP
+front-end, bounded admission queue, worker-driven continuous batching)
+answers a Poisson or bursty request trace fired open-loop by the
+:mod:`repro.gateway.traffic` harness through the pooled retrying client.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_gateway.py            # timing
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_gateway.py --quick \
+        --json BENCH_gateway.json                                # CI artifact
+
+Two things are gated, in every mode:
+
+* **Byte-identity** — a query answered over HTTP must equal, field for
+  field, the response the same ``engine.query`` call returns in-process.
+* **Bounded-queue liveness** — under open-loop load every request must
+  terminate decisively (answer, 429 rejection, or 504 deadline miss);
+  transport errors or hangs fail the run.
+
+The timing mode additionally reports client-observed p50/p99 latency,
+completed-request throughput, and aggregate generated tokens/s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    PromptGateway,
+    TraceConfig,
+    build_trace,
+    replay,
+)
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import PromptServeEngine, QueryRequest, TuneRequest
+
+
+def stream_for(user_id: int, count: int, seed: int = 0):
+    dataset = make_dataset("LaMP-2")
+    return dataset.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def build_engine(n_users: int, *, pretrain_steps: int,
+                 max_pending: int | None = None):
+    """An engine with ``n_users`` resident tuned-or-adopted sessions."""
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=400, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=pretrain_steps, seed=0))
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"),
+                               max_sessions=n_users,
+                               max_pending=max_pending)
+    engine.submit(TuneRequest(
+        user_id=0, samples=tuple(stream_for(0, 10, seed=0))))
+    library = engine.session(0).library
+    for user_id in range(1, n_users):
+        engine.load_session(user_id, library)
+    return engine, tok
+
+
+def check_byte_identity(client: GatewayClient, engine: PromptServeEngine,
+                        generation: GenerationConfig, n_users: int) -> bool:
+    """HTTP answers vs direct engine calls for a handful of queries."""
+    identical = True
+    for user_id in range(min(n_users, 3)):
+        sample = stream_for(user_id, 1, seed=90 + user_id)[0]
+        request = QueryRequest(user_id=user_id, text=sample.input_text,
+                               generation=generation,
+                               request_id=f"ident-{user_id}")
+        over_http = client.query(user_id, sample.input_text,
+                                 generation=generation,
+                                 request_id=f"ident-{user_id}")
+        direct = engine.query(request)
+        if over_http != direct:
+            identical = False
+            print(f"MISMATCH user {user_id}: http={over_http!r} "
+                  f"direct={direct!r}")
+    return identical
+
+
+def text_source(n_users: int):
+    """Per-user query texts, cycled deterministically."""
+    pools = {user_id: [s.input_text
+                       for s in stream_for(user_id, 8, seed=50 + user_id)]
+             for user_id in range(n_users)}
+
+    def text_for(user_id: int, k: int) -> str:
+        pool = pools[user_id]
+        return pool[k % len(pool)]
+
+    return text_for
+
+
+def run_load(arrival: str, n_users: int, rate_rps: float, duration_s: float,
+             n_tokens: int, pretrain_steps: int, max_queue: int,
+             json_path: str | None) -> int:
+    engine, _ = build_engine(n_users, pretrain_steps=pretrain_steps)
+    # No EOS: every completed answer generates exactly n_tokens, so
+    # aggregate tokens/s is exact rather than answer-length dependent.
+    generation = GenerationConfig(max_new_tokens=n_tokens, temperature=0.1,
+                                  seed=3, eos_id=None)
+    trace_config = TraceConfig(n_users=n_users, zipf_alpha=1.1,
+                               rate_rps=rate_rps, duration_s=duration_s,
+                               arrival=arrival, seed=0)
+    trace = build_trace(trace_config, text_source(n_users))
+    gateway_config = GatewayConfig(port=0, max_queue=max_queue, max_batch=8)
+
+    with PromptGateway(engine, gateway_config) as gateway:
+        host, port = gateway.address
+        with GatewayClient(host, port, pool_size=16) as client:
+            identical = check_byte_identity(client, engine, generation,
+                                            n_users)
+            report = replay(client, trace, generation=generation,
+                            max_workers=16)
+            stats = client.stats()
+
+    summary = report.summary()
+    accounted = (report.completed + report.rejected +
+                 report.deadline_misses + report.transport_errors)
+    tokens_per_s = (report.completed * n_tokens / report.wall_s
+                    if report.wall_s else 0.0)
+
+    print(f"\n=== Gateway under {arrival} load: {len(trace)} requests, "
+          f"{n_users} users, {rate_rps:.0f} rps offered ===")
+    print(f"completed:  {report.completed:6d}   "
+          f"rejected(429): {report.rejected}   "
+          f"deadline(504): {report.deadline_misses}   "
+          f"errors: {report.transport_errors}")
+    print(f"latency:    p50 {summary['latency_p50_ms']:8.1f} ms   "
+          f"p99 {summary['latency_p99_ms']:8.1f} ms")
+    print(f"throughput: {summary['throughput_rps']:8.1f} answered rps   "
+          f"{tokens_per_s:8.1f} tok/s")
+    print(f"engine:     p50 {stats['engine']['latency_ms']['p50_ms']:.1f} ms "
+          f"over {stats['engine']['latency_ms']['count']} served")
+    print(f"identical responses: {identical}")
+
+    if json_path:
+        payload = {
+            "benchmark": "gateway",
+            "config": {"arrival": arrival, "users": n_users,
+                       "offered_rps": rate_rps, "duration_s": duration_s,
+                       "tokens_per_answer": n_tokens,
+                       "max_queue": max_queue, "model": "phi-2-sim",
+                       "preset": "fast"},
+            "tokens_per_s": tokens_per_s,
+            "identical": identical,
+            **summary,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
+
+    if not identical:
+        print("FAIL: HTTP responses diverged from direct engine calls")
+        return 1
+    if report.transport_errors or accounted != report.n_requests:
+        print(f"FAIL: {report.transport_errors} transport errors, "
+              f"{report.n_requests - accounted} requests unaccounted")
+        return 1
+    if not report.completed:
+        print("FAIL: no request completed under load")
+        return 1
+    print("OK")
+    return 0
+
+
+def run_smoke() -> int:
+    """Fast CI gate: identity + bounded-queue liveness at tiny scale."""
+    engine, tok = build_engine(2, pretrain_steps=30)
+    generation = GenerationConfig(max_new_tokens=4, temperature=0.1,
+                                  seed=3, eos_id=tok.eos_id)
+    trace = build_trace(
+        TraceConfig(n_users=2, rate_rps=15.0, duration_s=1.0, seed=0),
+        text_source(2))
+    config = GatewayConfig(port=0, max_queue=8, max_batch=4)
+    failures = 0
+    with PromptGateway(engine, config) as gateway:
+        host, port = gateway.address
+        with GatewayClient(host, port) as client:
+            if client.health().get("status") != "ok":
+                print("FAIL health check")
+                failures += 1
+            identical = check_byte_identity(client, engine, generation, 2)
+            print(f"{'ok  ' if identical else 'FAIL'} byte-identity "
+                  f"(HTTP vs direct engine calls)")
+            failures += not identical
+            report = replay(client, trace, generation=generation,
+                            max_workers=8)
+            terminated = (report.completed + report.rejected +
+                          report.deadline_misses == report.n_requests)
+            survived = (report.transport_errors == 0 and report.completed
+                        and terminated)
+            print(f"{'ok  ' if survived else 'FAIL'} poisson replay: "
+                  f"{report.completed}/{report.n_requests} answered, "
+                  f"{report.rejected} rejected, "
+                  f"{report.transport_errors} errors")
+            failures += not survived
+    if failures:
+        print(f"FAIL: {failures} gateway smoke case(s)")
+        return 1
+    print("OK: gateway served the trace with a bounded queue, "
+          "byte-identical to the engine")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast identity + liveness check (for CI)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
+    parser.add_argument("--arrival", choices=["poisson", "bursty"],
+                        default="poisson", help="arrival process")
+    parser.add_argument("--users", type=int, default=8,
+                        help="resident user sessions (trace population)")
+    parser.add_argument("--rate", type=float, default=30.0,
+                        help="offered load, requests/second")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="trace length in seconds")
+    parser.add_argument("--tokens", type=int, default=8,
+                        help="tokens generated per answer")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="gateway admission-queue bound")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    if args.quick:
+        return run_load(args.arrival, min(args.users, 4),
+                        min(args.rate, 15.0), min(args.duration, 2.0),
+                        min(args.tokens, 6), 30, args.max_queue, args.json)
+    return run_load(args.arrival, args.users, args.rate, args.duration,
+                    args.tokens, 60, args.max_queue, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

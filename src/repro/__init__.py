@@ -13,6 +13,13 @@ batches via ``submit_batch`` / ``answer_batch``), and every
 per-OVT similarity scores, and analytic CiM latency/energy estimates.
 :class:`NVCiMPT` remains as the single-user facade over the same engine.
 
+**Serving edge** (:mod:`repro.gateway`) — the network front.  A
+:class:`PromptGateway` exposes the engine over HTTP (pure stdlib asyncio)
+with bounded-queue admission control, pluggable round-admission policies,
+deadline SLOs, and a worker thread driving the engine's continuous
+batching; :class:`GatewayClient` is the pooled retrying client, and
+:mod:`repro.gateway.traffic` generates Poisson/bursty Zipf-skewed load.
+
 **Building blocks** — the framework pieces the engine composes:
 :class:`OVTTrainingPipeline` / :class:`NVCiMDeployment`, the
 model/dataset/device zoos, prompt-tuning methods and cost models.
@@ -44,6 +51,11 @@ from .data import (
     make_user,
     make_users,
 )
+from .gateway import (
+    GatewayClient,
+    GatewayConfig,
+    PromptGateway,
+)
 from .llm import (
     GenerationConfig,
     available_models,
@@ -59,6 +71,7 @@ from .serve import (
     PromptServeEngine,
     QueryRequest,
     QueryResponse,
+    QueueFull,
     TuneRequest,
     TuneResponse,
     UserSession,
@@ -69,8 +82,10 @@ __version__ = "0.2.0"
 
 __all__ = [
     # Serving layer
-    "PromptServeEngine", "UserSession",
+    "PromptServeEngine", "UserSession", "QueueFull",
     "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
+    # Serving edge
+    "PromptGateway", "GatewayConfig", "GatewayClient",
     # Framework
     "NVCiMPT", "FrameworkConfig", "OVTLibrary", "OVTTrainingPipeline",
     "NVCiMDeployment", "NoiseAwareTrainer", "NoiseInjectionConfig",

@@ -1,0 +1,262 @@
+"""A minimal HTTP/1.1 wire implementation over asyncio streams.
+
+The gateway deliberately avoids third-party web frameworks (the repo's
+only runtime dependency is numpy), so this module implements exactly the
+slice of HTTP/1.1 the serving edge needs: request-line + header parsing,
+``Content-Length`` bodies, keep-alive connection reuse, and JSON response
+serialization.  Both the asyncio server (:mod:`repro.gateway.server`) and
+the blocking pooled client (:mod:`repro.gateway.client`) speak through
+the same parser, so the two sides cannot drift.
+
+Limits are explicit and conservative: header block and body sizes are
+bounded (an edge box fronting an LLM should never buffer megabytes of
+headers), and any malformed input raises :class:`HTTPError` with the
+status the peer should see — never a raw traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["HTTPError", "HTTPRequest", "HTTPResponse", "read_request",
+           "read_response", "render_request", "render_response",
+           "STATUS_REASONS"]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HTTPError(Exception):
+    """A protocol-level failure carrying the HTTP status to answer with.
+
+    ``field`` names the offending request field for validation failures
+    (the structured-400 contract); ``retry_after`` becomes a
+    ``Retry-After`` header (the 429 backpressure contract).
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 field: str | None = None,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.field = field
+        self.retry_after = retry_after
+
+    def body(self) -> dict:
+        payload = {"error": self.message, "status": self.status}
+        if self.field is not None:
+            payload["field"] = self.field
+        return payload
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split path, lowered headers, raw body."""
+
+    method: str
+    path: str
+    query: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object; HTTP 400 on anything else."""
+        if not self.body:
+            raise HTTPError(400, "request body must be a JSON object",
+                            field="body")
+        try:
+            payload = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise HTTPError(400, f"malformed JSON body: {error}",
+                            field="body") from None
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object",
+                            field="body")
+        return payload
+
+
+@dataclass
+class HTTPResponse:
+    """One parsed response (client side)."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+    @property
+    def retry_after(self) -> float | None:
+        value = self.headers.get("retry-after")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None
+
+    def json(self) -> dict:
+        try:
+            payload = json.loads(self.body) if self.body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+
+# ----------------------------------------------------------------------
+# Parsing (server side reads requests; the client reuses the header logic)
+# ----------------------------------------------------------------------
+def _parse_headers(lines: list[bytes]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(b":")
+        if not sep or not name.strip():
+            raise HTTPError(400, f"malformed header line: {line[:60]!r}")
+        headers[name.strip().decode("latin-1").lower()] = \
+            value.strip().decode("latin-1")
+    return headers
+
+
+def _split_head(head: bytes) -> tuple[bytes, list[bytes]]:
+    lines = head.split(b"\r\n")
+    return lines[0], [line for line in lines[1:] if line]
+
+
+def _content_length(headers: dict[str, str]) -> int:
+    value = headers.get("content-length", "0")
+    try:
+        length = int(value)
+    except ValueError:
+        raise HTTPError(400, f"invalid Content-Length: {value!r}") from None
+    if length < 0:
+        raise HTTPError(400, f"invalid Content-Length: {value!r}")
+    if length > MAX_BODY_BYTES:
+        raise HTTPError(413, f"body of {length} bytes exceeds the "
+                             f"{MAX_BODY_BYTES}-byte limit")
+    return length
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """The request/status line + headers, or None on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None   # peer closed between requests: normal keep-alive
+        raise HTTPError(400, "connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(413, "header block too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(413, "header block too large")
+    return head[:-4]
+
+
+async def read_request(reader: asyncio.StreamReader) -> HTTPRequest | None:
+    """Parse one request off the stream; None when the peer closed."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    request_line, header_lines = _split_head(head)
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line: {request_line[:60]!r}")
+    method, target, version = parts
+    if not version.startswith(b"HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol {version[:20]!r}")
+    path, _, query = target.decode("latin-1").partition("?")
+    headers = _parse_headers(header_lines)
+    body = b""
+    length = _content_length(headers)
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(400, "connection closed mid-body") from None
+    return HTTPRequest(method=method.decode("latin-1").upper(), path=path,
+                       query=query, headers=headers, body=body)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HTTPResponse:
+    """Parse one response off the stream (async client side)."""
+    head = await _read_head(reader)
+    if head is None:
+        raise HTTPError(503, "server closed the connection")
+    status_line, header_lines = _split_head(head)
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith(b"HTTP/1."):
+        raise HTTPError(503, f"malformed status line: {status_line[:60]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPError(503,
+                        f"malformed status line: {status_line[:60]!r}") \
+            from None
+    headers = _parse_headers(header_lines)
+    body = b""
+    length = _content_length(headers)
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(503, "server closed the connection mid-body") \
+                from None
+    return HTTPResponse(status=status, headers=headers, body=body)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_response(status: int, payload: dict | bytes, *,
+                    keep_alive: bool = True,
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    """Serialize one response; dict payloads become JSON."""
+    if isinstance(payload, dict):
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
+    else:
+        body = payload
+        content_type = "application/octet-stream"
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_request(method: str, path: str, payload: dict | None = None, *,
+                   host: str = "localhost",
+                   keep_alive: bool = True) -> bytes:
+    """Serialize one request; a dict payload becomes a JSON body."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    lines = [f"{method.upper()} {path} HTTP/1.1",
+             f"Host: {host}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if body:
+        lines.append("Content-Type: application/json")
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,150 @@
+"""Round-admission policies for the gateway's bounded request queue.
+
+The gateway separates *acceptance* (did the HTTP request get a seat in
+the bounded queue, or a 429?) from *round admission* (which queued
+queries join the engine's continuous-batching decoder when slots free
+up).  This module owns the second decision as a pluggable policy:
+
+* :class:`FIFOPolicy` — the reference: strict arrival order.
+* :class:`DeadlineFairPolicy` — earliest-deadline-first with a per-user
+  in-flight cap, so one chatty user under load can neither starve
+  deadline-critical requests nor monopolise the decode batch.
+
+Policies are registered in a string-keyed
+:class:`~repro.utils.Registry` (``register_policy`` /
+``build_policy``), the same extensibility shape as the model/device/
+mitigation zoos, so deployments can plug in their own scheduler without
+touching the gateway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..serve import QueryRequest
+from ..utils import Registry
+
+__all__ = ["QueuedQuery", "AdmissionPolicy", "FIFOPolicy",
+           "DeadlineFairPolicy", "register_policy", "build_policy",
+           "available_policies"]
+
+
+@dataclass
+class QueuedQuery:
+    """One accepted query waiting for a decode-batch slot.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp (None =
+    no SLO).  ``sequence`` orders ties and preserves FIFO among equals.
+    ``cancelled`` flips when the HTTP client disconnects while still
+    queued — the worker then drops the entry without admitting it.
+    """
+
+    request: QueryRequest
+    sequence: int
+    enqueued_at: float
+    deadline: float | None = None
+    cancelled: bool = False
+    # Opaque completion callback the gateway attaches (resolves the
+    # HTTP handler's future); policies never touch it.
+    complete: Callable | None = field(default=None, repr=False)
+
+    @property
+    def user_id(self) -> int:
+        return self.request.user_id
+
+
+class AdmissionPolicy:
+    """Decides which queued queries take the free decode-batch slots.
+
+    ``select`` sees the queue in arrival order, the number of free
+    slots, the current monotonic time, and the per-user count of
+    generations already in flight; it returns the entries to admit this
+    round, at most ``slots`` of them, in admission order.  It must not
+    mutate the queue.
+    """
+
+    name = "base"
+
+    def select(self, queued: Sequence[QueuedQuery], slots: int, now: float,
+               in_flight: Mapping[int, int]) -> list[QueuedQuery]:
+        raise NotImplementedError
+
+
+class FIFOPolicy(AdmissionPolicy):
+    """Strict arrival order — the reference policy."""
+
+    name = "fifo"
+
+    def select(self, queued: Sequence[QueuedQuery], slots: int, now: float,
+               in_flight: Mapping[int, int]) -> list[QueuedQuery]:
+        return list(queued[:max(0, slots)])
+
+
+class DeadlineFairPolicy(AdmissionPolicy):
+    """Earliest-deadline-first admission with a per-user fairness cap.
+
+    Candidates sort by (deadline, arrival): a request whose SLO expires
+    soonest is admitted first, and deadline-free requests (treated as
+    infinitely patient) fall back to arrival order among themselves.  A
+    user already holding ``fair_share`` or more batch slots (queued
+    admissions this round included) yields to other users; capped
+    entries are reconsidered in a second pass so slots never go idle
+    when there is work — the cap shapes *order*, it does not reject.
+    """
+
+    name = "deadline"
+
+    def __init__(self, fair_share: int = 2):
+        if fair_share <= 0:
+            raise ValueError("fair_share must be positive")
+        self.fair_share = fair_share
+
+    def select(self, queued: Sequence[QueuedQuery], slots: int, now: float,
+               in_flight: Mapping[int, int]) -> list[QueuedQuery]:
+        slots = max(0, slots)
+        if not slots or not queued:
+            return []
+        candidates = sorted(
+            queued,
+            key=lambda q: (q.deadline if q.deadline is not None else math.inf,
+                           q.sequence))
+        holding = dict(in_flight)
+        picked: list[QueuedQuery] = []
+        deferred: list[QueuedQuery] = []
+        for query in candidates:
+            if len(picked) >= slots:
+                break
+            if holding.get(query.user_id, 0) >= self.fair_share:
+                deferred.append(query)
+                continue
+            picked.append(query)
+            holding[query.user_id] = holding.get(query.user_id, 0) + 1
+        # Second pass: fill remaining slots from capped users (EDF order)
+        # rather than leaving batch slots empty.
+        for query in deferred:
+            if len(picked) >= slots:
+                break
+            picked.append(query)
+        return picked
+
+
+POLICIES: Registry[Callable[[], AdmissionPolicy]] = Registry(
+    "gateway admission policy")
+POLICIES.register("fifo", FIFOPolicy)
+POLICIES.register("deadline", DeadlineFairPolicy)
+
+
+def register_policy(name: str, factory: Callable[[], AdmissionPolicy]):
+    """Plug in a custom admission policy under ``name``."""
+    return POLICIES.register(name, factory)
+
+
+def build_policy(name: str, **kwargs) -> AdmissionPolicy:
+    """Instantiate a registered policy by name."""
+    return POLICIES[name](**kwargs)
+
+
+def available_policies() -> list[str]:
+    return POLICIES.names()

@@ -1,0 +1,592 @@
+"""The async HTTP serving gateway in front of :class:`PromptServeEngine`.
+
+Architecture — three kinds of thread around one engine:
+
+* **Event-loop thread** — an asyncio HTTP/1.1 server (pure stdlib, see
+  :mod:`repro.gateway.http`).  Handlers parse and validate payloads,
+  apply *acceptance* control (a bounded queue; 429 + ``Retry-After``
+  when full), then park on a future.  Handlers never touch the engine's
+  hot path, so slow decodes cannot stall accepts, health checks, or
+  rejections.
+* **Worker thread** — the decode driver.  It owns the serving hot loop:
+  each tick it expires queued requests past their deadline, lets the
+  admission policy (:mod:`repro.gateway.scheduler`) pick which queued
+  queries take the free decode-batch slots, feeds them to
+  ``engine.begin_query``, runs one ``engine.run_decode_round`` (every
+  in-flight answer advances one token in a single batched forward), and
+  resolves the futures of retired generations back into the event loop.
+* **Executor threads** — tune and stats requests run the engine's
+  (internally locked) training/stats entry points off the event loop,
+  interleaving with decode rounds at round boundaries.
+
+Backpressure is two-layered by design: the gateway's queue bounds
+*accepted-but-unadmitted* work (HTTP 429 with a ``Retry-After`` hint
+derived from observed service time), while the engine's own
+``max_pending`` bounds decoder occupancy — the policy decides who
+crosses from one to the other each round.
+
+Cancellation: a client that disconnects while its query is queued or
+decoding frees its slot within one round (the generation retires with
+the tokens produced so far); a request that misses its deadline gets a
+structured 504 carrying the partial answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..serve import PromptServeEngine, QueryResponse, QueueFull
+from .http import HTTPError, HTTPRequest, read_request, render_response
+from .scheduler import AdmissionPolicy, QueuedQuery, build_policy
+from .validation import (
+    ValidationError,
+    parse_query_request,
+    parse_tune_request,
+)
+
+__all__ = ["GatewayConfig", "PromptGateway", "query_response_to_dict",
+           "query_response_from_dict"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Deployment knobs of one gateway instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                 # 0 = bind an ephemeral port
+    max_queue: int = 64           # accepted-but-unadmitted bound (429 beyond)
+    max_batch: int = 8            # decode-batch slots the worker keeps full
+    policy: str = "fifo"          # round-admission policy name
+    fair_share: int = 2           # per-user slot cap (deadline policy)
+    default_deadline_s: float | None = None   # SLO when the request has none
+    retry_after_s: float | None = None   # fixed 429 hint; None = estimated
+    idle_wait_s: float = 0.02     # worker sleep when nothing is pending
+
+    def __post_init__(self):
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+
+
+def query_response_to_dict(response: QueryResponse, *,
+                           finish_reason: str | None = None) -> dict:
+    """The JSON wire form of a :class:`QueryResponse`.
+
+    Floats serialize via ``repr`` (exact round-trip), so a response
+    rebuilt with :func:`query_response_from_dict` compares equal to the
+    in-process original — the gateway's byte-identical contract.
+    """
+    payload = {
+        "user_id": response.user_id,
+        "text": response.text,
+        "answer": response.answer,
+        "ovt_index": response.ovt_index,
+        "scores": list(response.scores),
+        "n_ovts": response.n_ovts,
+        "backend": response.backend,
+        "latency_ns": response.latency_ns,
+        "energy_pj": response.energy_pj,
+        "request_id": response.request_id,
+    }
+    if finish_reason is not None:
+        payload["finish_reason"] = finish_reason
+    return payload
+
+
+def query_response_from_dict(payload: dict) -> QueryResponse:
+    """Rebuild the typed response a direct engine call would have returned."""
+    return QueryResponse(
+        user_id=payload["user_id"],
+        text=payload["text"],
+        answer=payload["answer"],
+        ovt_index=payload["ovt_index"],
+        scores=tuple(float(s) for s in payload["scores"]),
+        n_ovts=payload["n_ovts"],
+        backend=payload["backend"],
+        latency_ns=payload["latency_ns"],
+        energy_pj=payload["energy_pj"],
+        request_id=payload["request_id"],
+    )
+
+
+class PromptGateway:
+    """HTTP front-end + admission control + decode-loop driver.
+
+    Usage::
+
+        gateway = PromptGateway(engine, GatewayConfig(port=0)).start()
+        host, port = gateway.address
+        ...                       # curl / GatewayClient traffic
+        gateway.stop()
+
+    Endpoints: ``POST /v1/tune``, ``POST /v1/query`` (body may carry
+    ``deadline_ms``), ``GET /v1/stats``, ``GET /healthz``.
+    """
+
+    def __init__(self, engine: PromptServeEngine,
+                 config: GatewayConfig | None = None, *,
+                 policy: AdmissionPolicy | None = None):
+        self.engine = engine
+        self.config = config if config is not None else GatewayConfig()
+        if policy is None:
+            kwargs = ({"fair_share": self.config.fair_share}
+                      if self.config.policy == "deadline" else {})
+            policy = build_policy(self.config.policy, **kwargs)
+        self.policy = policy
+        self.address: tuple[str, int] | None = None
+        # -- accepted-but-unadmitted queue (event loop appends, worker
+        #    drains); one lock covers the queue and the admitted list.
+        self._qlock = threading.Lock()
+        self._queue: deque[QueuedQuery] = deque()
+        self._admitted: list[tuple[QueuedQuery, object]] = []
+        self._sequence = itertools.count()
+        self._work = threading.Event()
+        self._stop = threading.Event()
+        # -- counters (worker/loop threads; ints, so GIL-atomic enough
+        #    for telemetry)
+        self.started_at: float | None = None
+        self.http_requests = 0
+        self.accepted = 0
+        self.rejected = 0            # 429s at the gateway queue
+        self.completed = 0
+        self.validation_failures = 0
+        self.deadline_misses = 0     # 504s (queued or mid-decode)
+        self.disconnects = 0         # client gone before the answer
+        self._service_ewma_s: float | None = None
+        # -- runtime
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._worker_thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PromptGateway":
+        """Bind, start serving, and return once the port is live."""
+        if self._loop_thread is not None:
+            raise RuntimeError("gateway already started")
+        ready = threading.Event()
+        self._loop_thread = threading.Thread(
+            target=self._run_event_loop, args=(ready,),
+            name="gateway-http", daemon=True)
+        self._loop_thread.start()
+        ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError("gateway failed to start") \
+                from self._startup_error
+        if self.address is None:
+            raise RuntimeError("gateway did not bind within 10s")
+        self._worker_thread = threading.Thread(
+            target=self._worker_loop, name="gateway-worker", daemon=True)
+        self._worker_thread.start()
+        self.started_at = time.monotonic()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, shed queued work (503), and join the threads."""
+        self._stop.set()
+        self._work.set()
+        if self._worker_thread is not None:
+            self._worker_thread.join(timeout=10.0)
+        if self._loop is not None and self._shutdown is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=10.0)
+
+    def __enter__(self) -> "PromptGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Event-loop thread
+    # ------------------------------------------------------------------
+    def _run_event_loop(self, ready: threading.Event) -> None:
+        try:
+            asyncio.run(self._serve(ready))
+        except BaseException as error:   # surface bind failures to start()
+            self._startup_error = error
+        finally:
+            ready.set()
+
+    async def _serve(self, ready: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        ready.set()
+        async with server:
+            await self._shutdown.wait()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = await read_request(reader)
+                except HTTPError as error:
+                    writer.write(render_response(
+                        error.status, error.body(), keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                self.http_requests += 1
+                keep_alive = request.keep_alive
+                status, payload, extra = await self._dispatch(request, reader)
+                writer.write(render_response(status, payload,
+                                             keep_alive=keep_alive,
+                                             extra_headers=extra))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: HTTPRequest,
+                        reader: asyncio.StreamReader,
+                        ) -> tuple[int, dict, dict | None]:
+        try:
+            route = (request.method, request.path)
+            if route == ("POST", "/v1/query"):
+                return await self._handle_query(request, reader)
+            if route == ("POST", "/v1/tune"):
+                return await self._handle_tune(request)
+            if route == ("GET", "/v1/stats"):
+                return await self._handle_stats()
+            if route == ("GET", "/healthz"):
+                return 200, {"status": "ok",
+                             "uptime_s": (time.monotonic() - self.started_at
+                                          if self.started_at else 0.0)}, None
+            if request.path in ("/v1/query", "/v1/tune", "/v1/stats",
+                                "/healthz"):
+                return 405, {"error": f"method {request.method} not "
+                                      f"allowed for {request.path}",
+                             "status": 405}, None
+            return 404, {"error": f"no route for {request.path}",
+                         "status": 404}, None
+        except ValidationError as error:
+            self.validation_failures += 1
+            return error.status, error.body(), None
+        except HTTPError as error:
+            extra = None
+            if error.retry_after is not None:
+                extra = {"Retry-After": f"{error.retry_after:.2f}"}
+            return error.status, error.body(), extra
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionResetError, BrokenPipeError):
+            raise   # client gone: close the connection, write nothing
+        except Exception as error:
+            # Defensive catch-all: an engine bug answers 500, it never
+            # tears down the connection loop with a raw traceback.
+            return 500, {"error": f"internal error: "
+                                  f"{type(error).__name__}: {error}",
+                         "status": 500}, None
+
+    # -- query ---------------------------------------------------------
+    async def _handle_query(self, request: HTTPRequest,
+                            reader: asyncio.StreamReader,
+                            ) -> tuple[int, dict, dict | None]:
+        payload = request.json()
+        deadline_s = self._parse_deadline(payload)
+        query = parse_query_request(payload)
+        now = time.monotonic()
+        deadline = None
+        if deadline_s is not None:
+            deadline = now + deadline_s
+        elif self.config.default_deadline_s is not None:
+            deadline = now + self.config.default_deadline_s
+        with self._qlock:
+            if self._stop.is_set():
+                raise HTTPError(503, "gateway shutting down")
+            if len(self._queue) >= self.config.max_queue:
+                self.rejected += 1
+                raise HTTPError(429, "request queue full",
+                                retry_after=self._retry_after_hint())
+            future = self._loop.create_future()
+            queued = QueuedQuery(
+                request=query, sequence=next(self._sequence),
+                enqueued_at=now, deadline=deadline,
+                complete=self._completer(future))
+            self._queue.append(queued)
+            self.accepted += 1
+        self._work.set()
+        return await self._await_answer(queued, future, reader)
+
+    def _parse_deadline(self, payload: dict) -> float | None:
+        value = payload.get("deadline_ms")
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value <= 0:
+            raise ValidationError("deadline_ms",
+                                  "'deadline_ms' must be a positive number")
+        return float(value) / 1e3
+
+    def _completer(self, future: asyncio.Future):
+        """A thread-safe resolver the worker calls with the final triple."""
+        loop = self._loop
+
+        def resolve(status: int, payload: dict,
+                    extra: dict | None = None) -> None:
+            def _set() -> None:
+                if not future.done():
+                    future.set_result((status, payload, extra))
+            with contextlib.suppress(RuntimeError):   # loop already closed
+                loop.call_soon_threadsafe(_set)
+
+        return resolve
+
+    async def _await_answer(self, queued: QueuedQuery,
+                            future: asyncio.Future,
+                            reader: asyncio.StreamReader,
+                            ) -> tuple[int, dict, dict | None]:
+        """Wait for the worker's answer, watching for client disconnect.
+
+        The watch reads one byte: HTTP/1.1 keep-alive clients never send
+        a second request before this response, so bytes here mean either
+        EOF (disconnect) or pipelining, which the gateway does not
+        support — both cancel the in-flight generation and free its
+        batch slot within one round.
+        """
+        answer_task = asyncio.ensure_future(future)
+        watch_task = asyncio.ensure_future(reader.read(1))
+        try:
+            done, _ = await asyncio.wait(
+                {answer_task, watch_task},
+                return_when=asyncio.FIRST_COMPLETED)
+            if answer_task in done:
+                return answer_task.result()
+            # Peer vanished (or tried to pipeline) mid-generation.
+            queued.cancelled = True
+            self.disconnects += 1
+            self._work.set()
+            raise ConnectionResetError("client disconnected mid-query")
+        finally:
+            for task in (answer_task, watch_task):
+                if not task.done():
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError,
+                                             Exception):
+                        await task
+
+    def _retry_after_hint(self) -> float:
+        if self.config.retry_after_s is not None:
+            return self.config.retry_after_s
+        service = self._service_ewma_s if self._service_ewma_s else 0.5
+        backlog = len(self._queue) + len(self._admitted)
+        return round(
+            max(0.05, service * max(1, backlog) / self.config.max_batch), 2)
+
+    # -- tune / stats (engine entry points are internally locked) ------
+    async def _handle_tune(self, request: HTTPRequest,
+                           ) -> tuple[int, dict, dict | None]:
+        tune = parse_tune_request(request.json())
+        response = await self._loop.run_in_executor(
+            None, self.engine.submit, tune)
+        return 200, {
+            "user_id": response.user_id,
+            "accepted": response.accepted,
+            "epochs_fired": response.epochs_fired,
+            "library_size": response.library_size,
+            "request_id": response.request_id,
+        }, None
+
+    async def _handle_stats(self) -> tuple[int, dict, dict | None]:
+        engine_stats = await self._loop.run_in_executor(
+            None, self.engine.stats)
+        with self._qlock:
+            gateway_stats = {
+                "queue_depth": len(self._queue),
+                "in_flight": len(self._admitted),
+                "max_queue": self.config.max_queue,
+                "max_batch": self.config.max_batch,
+                "policy": self.policy.name,
+                "http_requests": self.http_requests,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "validation_failures": self.validation_failures,
+                "deadline_misses": self.deadline_misses,
+                "disconnects": self.disconnects,
+            }
+        return 200, {"gateway": gateway_stats, "engine": engine_stats}, None
+
+    # ------------------------------------------------------------------
+    # Worker thread — the decode driver
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                busy = self._tick()
+            except Exception as error:
+                # A tick must never silently kill the decode driver:
+                # answer every in-flight request with a 500 and keep
+                # serving the queue.
+                self._shed_admitted(error)
+                busy = True
+            if not busy:
+                self._work.wait(timeout=self.config.idle_wait_s)
+                self._work.clear()
+        self._shed_all()
+
+    def _shed_admitted(self, error: Exception) -> None:
+        with self._qlock:
+            admitted = list(self._admitted)
+            self._admitted = []
+        for queued, pending in admitted:
+            with contextlib.suppress(Exception):
+                self.engine.cancel_query(pending)
+            queued.complete(500, {
+                "error": f"decode failed: {type(error).__name__}: {error}",
+                "status": 500})
+
+    def _tick(self) -> bool:
+        """One worker iteration; returns True when it did any work."""
+        now = time.monotonic()
+        self._drop_dead_queued(now)
+        admitted_now = self._admit(now)
+        self._cancel_disconnected()
+        progressed = self._drive_round()
+        resolved = self._resolve_finished()
+        return bool(admitted_now or progressed or resolved)
+
+    def _drop_dead_queued(self, now: float) -> None:
+        """Shed queued entries that were cancelled or missed their SLO."""
+        with self._qlock:
+            dead = [q for q in self._queue
+                    if q.cancelled or (q.deadline is not None
+                                       and now >= q.deadline)]
+            for queued in dead:
+                self._queue.remove(queued)
+        for queued in dead:
+            if queued.cancelled:
+                continue   # disconnect: nobody is waiting for the reply
+            self.deadline_misses += 1
+            queued.complete(504, {
+                "error": "deadline exceeded before admission",
+                "status": 504,
+                "user_id": queued.request.user_id,
+                "request_id": queued.request.request_id,
+                "partial_answer": "",
+                "finish_reason": "deadline",
+            })
+
+    def _admit(self, now: float) -> int:
+        """Policy-selected queued queries take the free decode slots."""
+        with self._qlock:
+            slots = self.config.max_batch - len(self._admitted)
+            if slots <= 0 or not self._queue:
+                return 0
+            in_flight: dict[int, int] = {}
+            for queued, _ in self._admitted:
+                in_flight[queued.user_id] = \
+                    in_flight.get(queued.user_id, 0) + 1
+            picks = self.policy.select(list(self._queue), slots, now,
+                                       in_flight)
+            for queued in picks:
+                self._queue.remove(queued)
+        admitted = 0
+        for queued in picks:
+            try:
+                pending = self.engine.begin_query(queued.request,
+                                                  deadline=queued.deadline)
+            except KeyError as error:
+                queued.complete(404, {"error": str(error), "status": 404,
+                                      "user_id": queued.request.user_id,
+                                      "request_id":
+                                          queued.request.request_id})
+            except QueueFull:
+                queued.complete(429, {"error": "engine at capacity",
+                                      "status": 429},
+                                {"Retry-After":
+                                     f"{self._retry_after_hint():.2f}"})
+            except Exception as error:
+                queued.complete(500, {"error": f"admission failed: "
+                                               f"{type(error).__name__}: "
+                                               f"{error}",
+                                      "status": 500})
+            else:
+                with self._qlock:
+                    self._admitted.append((queued, pending))
+                admitted += 1
+        return admitted
+
+    def _cancel_disconnected(self) -> None:
+        with self._qlock:
+            gone = [(q, p) for q, p in self._admitted if q.cancelled]
+        for queued, pending in gone:
+            self.engine.cancel_query(pending)   # no-op if already done
+
+    def _drive_round(self) -> bool:
+        with self._qlock:
+            live = any(not p.done for _, p in self._admitted)
+        if not live:
+            return False
+        self.engine.run_decode_round()
+        return True
+
+    def _resolve_finished(self) -> int:
+        with self._qlock:
+            finished = [(q, p) for q, p in self._admitted if p.done]
+            self._admitted = [(q, p) for q, p in self._admitted
+                              if not p.done]
+        for queued, pending in finished:
+            self._observe_service(queued)
+            response = pending.response
+            if queued.cancelled:
+                continue   # disconnect: reply socket is gone
+            if pending.finish_reason == "deadline":
+                self.deadline_misses += 1
+                queued.complete(504, {
+                    "error": "deadline exceeded",
+                    "status": 504,
+                    "user_id": response.user_id,
+                    "request_id": response.request_id,
+                    "partial_answer": response.answer,
+                    "finish_reason": "deadline",
+                })
+            else:
+                self.completed += 1
+                queued.complete(200, query_response_to_dict(
+                    response, finish_reason=pending.finish_reason))
+        return len(finished)
+
+    def _observe_service(self, queued: QueuedQuery) -> None:
+        service = time.monotonic() - queued.enqueued_at
+        if self._service_ewma_s is None:
+            self._service_ewma_s = service
+        else:
+            self._service_ewma_s += 0.2 * (service - self._service_ewma_s)
+
+    def _shed_all(self) -> None:
+        """On shutdown: answer everything still waiting with 503."""
+        with self._qlock:
+            queued = list(self._queue)
+            admitted = list(self._admitted)
+            self._queue.clear()
+            self._admitted = []
+        for entry in queued:
+            entry.complete(503, {"error": "gateway shutting down",
+                                 "status": 503})
+        for entry, pending in admitted:
+            self.engine.cancel_query(pending)
+            entry.complete(503, {"error": "gateway shutting down",
+                                 "status": 503})

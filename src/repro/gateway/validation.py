@@ -1,0 +1,152 @@
+"""Typed validation of JSON payloads into serving-API request objects.
+
+Everything that arrives over the wire is untrusted: these parsers turn a
+decoded JSON object into a :class:`~repro.serve.QueryRequest` /
+:class:`~repro.serve.TuneRequest`, and *any* malformed field — wrong
+type, missing key, out-of-range value — raises :class:`ValidationError`
+naming the offending field.  The gateway renders that as a structured
+HTTP 400 (``{"error": ..., "field": ...}``); a raw traceback never
+crosses the socket.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..data.lamp import Sample
+from ..llm.generation import GenerationConfig
+from ..serve import QueryRequest, TuneRequest
+from .http import HTTPError
+
+__all__ = ["ValidationError", "parse_query_request", "parse_tune_request",
+           "generation_to_dict"]
+
+
+class ValidationError(HTTPError):
+    """A malformed request field; maps to a structured HTTP 400."""
+
+    def __init__(self, field: str, message: str):
+        super().__init__(400, message, field=field)
+
+
+def _require(payload: dict, field: str) -> Any:
+    if field not in payload:
+        raise ValidationError(field, f"missing required field {field!r}")
+    return payload[field]
+
+
+def _as_int(value: Any, field: str) -> int:
+    # bool is an int subclass; reject it explicitly (true/false user ids
+    # are always a client bug, not a convenience).
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(field, f"{field!r} must be an integer, "
+                                     f"got {type(value).__name__}")
+    return value
+
+
+def _as_float(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(field, f"{field!r} must be a number, "
+                                     f"got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(field, f"{field!r} must be finite")
+    return value
+
+
+def _as_str(value: Any, field: str, *, allow_empty: bool = False) -> str:
+    if not isinstance(value, str):
+        raise ValidationError(field, f"{field!r} must be a string, "
+                                     f"got {type(value).__name__}")
+    if not value and not allow_empty:
+        raise ValidationError(field, f"{field!r} must be non-empty")
+    return value
+
+
+def _parse_generation(payload: Any) -> GenerationConfig:
+    if not isinstance(payload, dict):
+        raise ValidationError("generation",
+                              "'generation' must be a JSON object")
+    known = {"max_new_tokens", "temperature", "seed", "eos_id"}
+    for key in payload:
+        if key not in known:
+            raise ValidationError(f"generation.{key}",
+                                  f"unknown generation field {key!r}")
+    kwargs: dict[str, Any] = {}
+    if "max_new_tokens" in payload:
+        kwargs["max_new_tokens"] = _as_int(payload["max_new_tokens"],
+                                           "generation.max_new_tokens")
+    if "temperature" in payload:
+        kwargs["temperature"] = _as_float(payload["temperature"],
+                                          "generation.temperature")
+    if "seed" in payload:
+        kwargs["seed"] = _as_int(payload["seed"], "generation.seed")
+    if "eos_id" in payload and payload["eos_id"] is not None:
+        kwargs["eos_id"] = _as_int(payload["eos_id"], "generation.eos_id")
+    try:
+        return GenerationConfig(**kwargs)
+    except ValueError as error:
+        raise ValidationError("generation", str(error)) from None
+
+
+def parse_query_request(payload: dict) -> QueryRequest:
+    """``{"user_id": int, "text": str[, "generation": {...},
+    "request_id": str]}`` → :class:`QueryRequest`."""
+    user_id = _as_int(_require(payload, "user_id"), "user_id")
+    text = _as_str(_require(payload, "text"), "text")
+    generation = None
+    if payload.get("generation") is not None:
+        generation = _parse_generation(payload["generation"])
+    request_id = _as_str(payload.get("request_id", ""), "request_id",
+                         allow_empty=True)
+    try:
+        return QueryRequest(user_id=user_id, text=text,
+                            generation=generation, request_id=request_id)
+    except ValueError as error:   # dataclass-level invariants
+        raise ValidationError("text", str(error)) from None
+
+
+def _parse_sample(payload: Any, user_id: int, index: int) -> Sample:
+    field = f"samples[{index}]"
+    if not isinstance(payload, dict):
+        raise ValidationError(field, f"{field} must be a JSON object")
+    for key in ("input_text", "target_text"):
+        if key not in payload:
+            raise ValidationError(f"{field}.{key}",
+                                  f"missing required field {field}.{key!r}")
+    return Sample(
+        task=_as_str(payload.get("task", "http"), f"{field}.task"),
+        user_id=user_id,
+        input_text=_as_str(payload["input_text"], f"{field}.input_text"),
+        target_text=_as_str(payload["target_text"], f"{field}.target_text",
+                            allow_empty=True),
+        domain=_as_str(payload.get("domain", "http"), f"{field}.domain"),
+    )
+
+
+def parse_tune_request(payload: dict) -> TuneRequest:
+    """``{"user_id": int, "samples": [{"input_text": ..., "target_text":
+    ...}, ...][, "request_id": str]}`` → :class:`TuneRequest`."""
+    user_id = _as_int(_require(payload, "user_id"), "user_id")
+    samples = _require(payload, "samples")
+    if not isinstance(samples, list) or not samples:
+        raise ValidationError("samples",
+                              "'samples' must be a non-empty array")
+    parsed = tuple(_parse_sample(sample, user_id, index)
+                   for index, sample in enumerate(samples))
+    request_id = _as_str(payload.get("request_id", ""), "request_id",
+                         allow_empty=True)
+    try:
+        return TuneRequest(user_id=user_id, samples=parsed,
+                           request_id=request_id)
+    except ValueError as error:
+        raise ValidationError("samples", str(error)) from None
+
+
+def generation_to_dict(config: GenerationConfig) -> dict:
+    """The wire form of a :class:`GenerationConfig` (client side)."""
+    return {"max_new_tokens": config.max_new_tokens,
+            "temperature": config.temperature,
+            "seed": config.seed,
+            "eos_id": config.eos_id}

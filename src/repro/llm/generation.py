@@ -28,6 +28,7 @@ never answers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -301,16 +302,21 @@ class DecodeSequence:
     """
 
     __slots__ = ("state", "config", "cache", "generated", "finished",
-                 "finish_reason", "_rng", "_total", "_budget")
+                 "finish_reason", "deadline", "_rng", "_total", "_budget")
 
     def __init__(self, state: PrefillState, config: GenerationConfig,
-                 budget: int):
+                 budget: int, deadline: float | None = None):
         self.state = state
         self.config = config
         self.cache = state.cache
         self.generated: list[int] = []
         self.finished = False
         self.finish_reason: str | None = None
+        # Absolute time.monotonic() timestamp after which the sequence is
+        # retired ("deadline") instead of entering another round.  None (the
+        # default) never expires, so deadline-free serving stays exactly the
+        # deterministic reference path.
+        self.deadline = deadline
         self._rng = np.random.default_rng(config.seed)
         self._total = state.n_tokens
         self._budget = budget
@@ -354,6 +360,7 @@ class DecodeRoundReport:
     tokens_emitted: int   # tokens appended across all sequences
     n_active: int         # sequences that entered the round
     n_retired: int        # sequences that finished during the round
+    n_expired: int = 0    # sequences retired on their deadline, pre-forward
 
 
 class DecodeScheduler:
@@ -387,13 +394,17 @@ class DecodeScheduler:
 
     def admit(self, state: PrefillState,
               config: GenerationConfig = GenerationConfig(),
+              *, deadline: float | None = None,
               ) -> DecodeSequence:
         """Add one prefilled sequence to the in-flight batch.
 
         The first token is sampled right here from the prefill logits (no
         forward needed), exactly as :func:`decode_from` does; a sequence
         that immediately hits EOS or a limit retires without ever joining
-        a round.
+        a round.  ``deadline`` (a ``time.monotonic()`` timestamp) bounds
+        how long the sequence may stay in flight: a round that starts
+        after the deadline retires it with whatever tokens it has, the
+        serving building block for per-request latency SLOs.
         """
         if state.cache.batch_size != 1:
             raise ValueError(
@@ -401,7 +412,7 @@ class DecodeScheduler:
                 f"{state.cache.batch_size}"
             )
         budget = self.model.config.max_seq_len - state.virtual_len
-        sequence = DecodeSequence(state, config, budget)
+        sequence = DecodeSequence(state, config, budget, deadline)
         if sequence._total >= budget:
             sequence._finish("context")   # prefill() normally rejects this
         else:
@@ -425,11 +436,36 @@ class DecodeScheduler:
         return True
 
     # ------------------------------------------------------------------
+    def expire_deadlines(self, now: float | None = None) -> int:
+        """Retire every in-flight sequence whose deadline has passed.
+
+        Expired sequences finish with reason ``"deadline"`` and keep the
+        tokens generated so far (a clean prefix of the full answer).
+        Returns the number retired; sequences without deadlines are never
+        touched, so this is free for deterministic workloads.
+        """
+        if not any(seq.deadline is not None for seq in self._active):
+            return 0
+        if now is None:
+            now = time.monotonic()
+        expired = [seq for seq in self._active
+                   if seq.deadline is not None and now >= seq.deadline]
+        for seq in expired:
+            seq._finish("deadline")
+        if expired:
+            self._active = [seq for seq in self._active if not seq.finished]
+        return len(expired)
+
     def decode_round(self) -> DecodeRoundReport:
-        """Advance every in-flight sequence by one token (one forward)."""
+        """Advance every in-flight sequence by one token (one forward).
+
+        Sequences past their deadline are retired *before* the forward
+        (they neither occupy a batch slot nor consume compute this round).
+        """
+        n_expired = self.expire_deadlines()
         active = self._active
         if not active:
-            return DecodeRoundReport(0, 0, 0)
+            return DecodeRoundReport(0, 0, n_expired, n_expired=n_expired)
         model = self.model
         tokens = np.array([seq.generated[-1] for seq in active],
                           dtype=np.int64)
@@ -458,7 +494,9 @@ class DecodeScheduler:
         self.tokens_emitted += emitted
         self.occupancy_sum += len(active)
         return DecodeRoundReport(tokens_emitted=emitted,
-                                 n_active=len(active), n_retired=retired)
+                                 n_active=len(active),
+                                 n_retired=retired + n_expired,
+                                 n_expired=n_expired)
 
     def run(self) -> None:
         """Round until every admitted sequence has retired."""

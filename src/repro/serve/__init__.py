@@ -32,11 +32,12 @@ from .api import (
     TuneRequest,
     TuneResponse,
 )
-from .engine import PromptServeEngine
+from .engine import PromptServeEngine, QueueFull
+from .metrics import LatencyHistogram
 from .session import UserSession
 
 __all__ = [
-    "PromptServeEngine", "UserSession",
+    "PromptServeEngine", "QueueFull", "UserSession", "LatencyHistogram",
     "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
     "PendingQuery",
 ]

@@ -102,12 +102,13 @@ class PendingQuery:
     """
 
     __slots__ = ("request", "response", "cancelled",
-                 "_sequence", "_session", "_retrieval")
+                 "_sequence", "_session", "_retrieval", "_admitted_at")
 
     def __init__(self, request: QueryRequest):
         self.request = request
         self.response: QueryResponse | None = None
         self.cancelled = False
+        self._admitted_at = 0.0   # perf_counter at admission (latency stat)
 
     @property
     def done(self) -> bool:
@@ -116,6 +117,13 @@ class PendingQuery:
     @property
     def user_id(self) -> int:
         return self.request.user_id
+
+    @property
+    def finish_reason(self) -> str | None:
+        """Why the generation retired: ``"eos"``, ``"length"``,
+        ``"context"``, ``"cancelled"``, ``"deadline"`` — or None while
+        still in flight."""
+        return self._sequence.finish_reason
 
     def __repr__(self) -> str:
         status = ("cancelled" if self.cancelled

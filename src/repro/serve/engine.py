@@ -46,6 +46,8 @@ bit-exact per sequence.  Queries may also be admitted individually with
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import OrderedDict
 from typing import Callable
 
@@ -70,9 +72,27 @@ from .api import (
     TuneRequest,
     TuneResponse,
 )
+from .metrics import LatencyHistogram
 from .session import UserSession
 
-__all__ = ["PromptServeEngine"]
+__all__ = ["PromptServeEngine", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`PromptServeEngine.begin_query` when the engine's
+    bounded pending-generation queue is at capacity.
+
+    The serving layer's backpressure signal: the HTTP gateway maps it to
+    ``429 Too Many Requests`` with a ``Retry-After`` hint instead of
+    letting latency grow without bound.
+    """
+
+    def __init__(self, queue_depth: int, max_pending: int):
+        super().__init__(
+            f"engine at capacity: {queue_depth} pending generations "
+            f"(max_pending={max_pending})")
+        self.queue_depth = queue_depth
+        self.max_pending = max_pending
 
 # int16 words are bit-sliced into one digit per cell.
 _WORD_BITS = 16
@@ -100,9 +120,12 @@ class PromptServeEngine:
 
     def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
                  config: FrameworkConfig | None = None, *,
-                 max_sessions: int = 8):
+                 max_sessions: int = 8,
+                 max_pending: int | None = None):
         if max_sessions <= 0:
             raise ValueError("max_sessions must be positive")
+        if max_pending is not None and max_pending <= 0:
+            raise ValueError("max_pending must be positive (or None)")
         # The base model is frozen shared state: pin it to eval mode once so
         # decoding never has to flip module flags other threads could see.
         model.eval()
@@ -110,11 +133,24 @@ class PromptServeEngine:
         self.tokenizer = tokenizer
         self.config = config if config is not None else FrameworkConfig()
         self.max_sessions = max_sessions
+        # Bounded admission for begin_query: None serves every caller (the
+        # in-process default), an integer is the backpressure point the
+        # gateway leans on.
+        self.max_pending = max_pending
         self._sessions: OrderedDict[int, UserSession] = OrderedDict()
         self.evicted_sessions = 0
         self.requests_served = 0
+        self.admitted = 0   # queries that entered the decoder
+        self.rejected = 0   # begin_query calls bounced on max_pending
         self._evicted_prefill_hits = 0   # keeps stats monotonic across LRU
         self._evicted_cim = CrossbarStats()  # same, for crossbar counters
+        self._latency = LatencyHistogram()   # request wall latency
+        # One re-entrant lock serializes every engine entry point: the
+        # gateway drives admission (begin_query) and the decode loop
+        # (run_decode_round) from different threads, and stats() may be
+        # read from yet another.  Rounds hold the lock for one batched
+        # forward, so readers see consistent counters, never torn state.
+        self._lock = threading.RLock()
         # One continuous-batching decoder for the engine's lifetime: its
         # round/token/occupancy counters are the serving telemetry, and
         # pending generations from different calls share rounds.
@@ -131,23 +167,25 @@ class PromptServeEngine:
         ``config`` overrides the engine default for *new* sessions only;
         an existing session keeps the config it was created with.
         """
-        if user_id in self._sessions:
-            self._sessions.move_to_end(user_id)
-            return self._sessions[user_id]
-        session = UserSession(user_id, self.model, self.tokenizer,
-                              config if config is not None else self.config)
-        self._sessions[user_id] = session
-        while len(self._sessions) > self.max_sessions:
-            # LRU eviction may land on a session with generations still in
-            # flight; those are self-contained (the decoder's sequences own
-            # their caches and telemetry snapshots) and finish normally, so
-            # eviction frees the NVM library without touching any batch
-            # slot.
-            _, evicted = self._sessions.popitem(last=False)
-            self._evicted_prefill_hits += evicted.prefill_hits
-            self._evicted_cim.add(evicted.cim_stats())
-            self.evicted_sessions += 1
-        return session
+        with self._lock:
+            if user_id in self._sessions:
+                self._sessions.move_to_end(user_id)
+                return self._sessions[user_id]
+            session = UserSession(
+                user_id, self.model, self.tokenizer,
+                config if config is not None else self.config)
+            self._sessions[user_id] = session
+            while len(self._sessions) > self.max_sessions:
+                # LRU eviction may land on a session with generations still
+                # in flight; those are self-contained (the decoder's
+                # sequences own their caches and telemetry snapshots) and
+                # finish normally, so eviction frees the NVM library
+                # without touching any batch slot.
+                _, evicted = self._sessions.popitem(last=False)
+                self._evicted_prefill_hits += evicted.prefill_hits
+                self._evicted_cim.add(evicted.cim_stats())
+                self.evicted_sessions += 1
+            return session
 
     def _resident_session(self, user_id: int) -> UserSession:
         """The user's existing session; never creates one.
@@ -189,18 +227,34 @@ class PromptServeEngine:
         ``cancelled``.  Either way, other users' batch slots are
         untouched.
         """
-        session = self._sessions.pop(user_id, None)
-        if session is None:
-            return False
-        self._evicted_prefill_hits += session.prefill_hits
-        self._evicted_cim.add(session.cim_stats())
-        if cancel_pending:
-            for pending in [p for p in self._pending
-                            if p._session is session]:
-                self._scheduler.cancel(pending._sequence)
-                pending.cancelled = True
-                self._finalize(pending)
-        return True
+        with self._lock:
+            session = self._sessions.pop(user_id, None)
+            if session is None:
+                return False
+            self._evicted_prefill_hits += session.prefill_hits
+            self._evicted_cim.add(session.cim_stats())
+            if cancel_pending:
+                for pending in [p for p in self._pending
+                                if p._session is session]:
+                    self.cancel_query(pending)
+            return True
+
+    def cancel_query(self, pending: PendingQuery) -> bool:
+        """Cancel one in-flight query (client disconnect, gateway timeout).
+
+        The generation retires immediately with the tokens produced so far
+        — a clean prefix of the full answer — and the handle's response is
+        finalised with ``cancelled=True``.  Returns False if the query had
+        already completed (its response stands).  Other queries' batch
+        slots are untouched.
+        """
+        with self._lock:
+            if pending.done:
+                return False
+            self._scheduler.cancel(pending._sequence)
+            pending.cancelled = True
+            self._finalize(pending)
+            return True
 
     def stats(self) -> dict:
         """Aggregate serving counters (for dashboards and tests).
@@ -210,51 +264,60 @@ class PromptServeEngine:
         (rounds, tokens, occupancy) comes from the scheduler's monotonic
         counters.
         """
-        scheduler = self._scheduler
-        rounds = scheduler.rounds
-        cim = CrossbarStats().add(self._evicted_cim)
-        for session in self._sessions.values():
-            # Vectorized banks sum their counter vectors, so aggregating
-            # on every stats() call stays cheap on the serve path.  The
-            # evicted/retired baselines keep these counters cumulative
-            # (monotonic) across LRU eviction and retraining, like the
-            # decode counters beside them.
-            cim.add(session.cim_stats())
-        return {
-            "active_sessions": len(self._sessions),
-            "max_sessions": self.max_sessions,
-            "evicted_sessions": self.evicted_sessions,
-            "requests_served": self.requests_served,
-            "stored_ovts": sum(len(s.library) for s in self._sessions.values()),
-            "prefill_hits": self._evicted_prefill_hits +
-                            sum(s.prefill_hits
-                                for s in self._sessions.values()),
-            "prefill_cache_bytes": sum(s.prefill_cache_bytes()
-                                       for s in self._sessions.values()),
-            "pending_generations": len(self._pending),
-            "decode_rounds": rounds,
-            "decode_tokens": scheduler.tokens_emitted,
-            "tokens_per_round": (scheduler.tokens_emitted / rounds
-                                 if rounds else 0.0),
-            "batch_occupancy": (scheduler.occupancy_sum / rounds
-                                if rounds else 0.0),
-            "cim_mvm_ops": cim.mvm_ops,
-            "cim_adc_conversions": cim.adc_conversions,
-            "cim_cell_reads": cim.cell_reads,
-            "cim_write_pulses": cim.write_pulses,
-        }
+        with self._lock:
+            scheduler = self._scheduler
+            rounds = scheduler.rounds
+            cim = CrossbarStats().add(self._evicted_cim)
+            for session in self._sessions.values():
+                # Vectorized banks sum their counter vectors, so
+                # aggregating on every stats() call stays cheap on the
+                # serve path.  The evicted/retired baselines keep these
+                # counters cumulative (monotonic) across LRU eviction and
+                # retraining, like the decode counters beside them.
+                cim.add(session.cim_stats())
+            return {
+                "active_sessions": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "evicted_sessions": self.evicted_sessions,
+                "requests_served": self.requests_served,
+                "stored_ovts": sum(len(s.library)
+                                   for s in self._sessions.values()),
+                "prefill_hits": self._evicted_prefill_hits +
+                                sum(s.prefill_hits
+                                    for s in self._sessions.values()),
+                "prefill_cache_bytes": sum(s.prefill_cache_bytes()
+                                           for s in self._sessions.values()),
+                "pending_generations": len(self._pending),
+                "queue_depth": len(self._pending),
+                "max_pending": self.max_pending,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "latency_ms": self._latency.summary(),
+                "decode_rounds": rounds,
+                "decode_tokens": scheduler.tokens_emitted,
+                "tokens_per_round": (scheduler.tokens_emitted / rounds
+                                     if rounds else 0.0),
+                "batch_occupancy": (scheduler.occupancy_sum / rounds
+                                    if rounds else 0.0),
+                "cim_mvm_ops": cim.mvm_ops,
+                "cim_adc_conversions": cim.adc_conversions,
+                "cim_cell_reads": cim.cell_reads,
+                "cim_write_pulses": cim.write_pulses,
+            }
 
     # ------------------------------------------------------------------
     # Training mode
     # ------------------------------------------------------------------
     def observe(self, user_id: int, sample: Sample) -> bool:
         """Absorb one interaction; True when it triggered a training epoch."""
-        return self.session(user_id).observe(sample)
+        with self._lock:
+            return self.session(user_id).observe(sample)
 
     def submit(self, request: TuneRequest) -> TuneResponse:
         """Absorb one user's batch of interactions."""
-        session = self.session(request.user_id)
-        epochs = session.extend(list(request.samples))
+        with self._lock:
+            session = self.session(request.user_id)
+            epochs = session.extend(list(request.samples))
         return TuneResponse(
             user_id=request.user_id,
             accepted=len(request.samples),
@@ -300,8 +363,10 @@ class PromptServeEngine:
         never creates sessions (that would let stray requests evict real
         users' libraries).
         """
-        session = self._resident_session(request.user_id)
-        return self._serve_one(session, session.deployment(), request, {}, {})
+        with self._lock:
+            session = self._resident_session(request.user_id)
+            return self._serve_one(session, session.deployment(), request,
+                                   {}, {})
 
     def answer_batch(self, requests: list[QueryRequest], *,
                      batched: bool = True) -> list[QueryResponse]:
@@ -319,6 +384,11 @@ class PromptServeEngine:
         next).  Both are token-identical to issuing the same requests one
         at a time through :meth:`query`.
         """
+        with self._lock:
+            return self._answer_batch_locked(requests, batched)
+
+    def _answer_batch_locked(self, requests: list[QueryRequest],
+                             batched: bool) -> list[QueryResponse]:
         order: OrderedDict[int, list[int]] = OrderedDict()
         for position, request in enumerate(requests):
             order.setdefault(request.user_id, []).append(position)
@@ -362,7 +432,8 @@ class PromptServeEngine:
                 self.run_decode_round()
         return [p.response for p in pendings]  # type: ignore[misc]
 
-    def begin_query(self, request: QueryRequest) -> PendingQuery:
+    def begin_query(self, request: QueryRequest, *,
+                    deadline: float | None = None) -> PendingQuery:
         """Admit one query to the continuous-batching decoder.
 
         The retrieval happens now (so telemetry is snapshotted against the
@@ -371,26 +442,44 @@ class PromptServeEngine:
         :meth:`run_decode_round` until it retires.  The returned handle's
         ``response`` is token-identical to what :meth:`query` would have
         produced.
+
+        ``deadline`` (a ``time.monotonic()`` timestamp) retires the
+        generation with the tokens produced so far once a round starts
+        past it — the per-request latency SLO hook.
+
+        Raises :class:`QueueFull` when the engine was built with
+        ``max_pending`` and that many generations are already in flight;
+        the caller should shed load (the gateway answers 429).
         """
-        session = self._resident_session(request.user_id)
-        return self._admit_one(session, session.deployment(), request,
-                               {}, {})
+        with self._lock:
+            if (self.max_pending is not None
+                    and len(self._pending) >= self.max_pending):
+                self.rejected += 1
+                raise QueueFull(len(self._pending), self.max_pending)
+            session = self._resident_session(request.user_id)
+            return self._admit_one(session, session.deployment(), request,
+                                   {}, {}, deadline=deadline)
 
     def run_decode_round(self) -> DecodeRoundReport:
         """Advance every pending generation by one token in one forward.
 
         This is the serving hot loop: all sessions with pending
         generations share a single batched decode step, and generations
-        that retire (EOS or budget) have their responses finalised so new
-        queries can be admitted mid-flight.  Returns the round's report
-        (tokens emitted, batch occupancy, retirements); a no-op when
-        nothing is pending.
+        that retire (EOS, budget, or deadline) have their responses
+        finalised so new queries can be admitted mid-flight.  Returns the
+        round's report (tokens emitted, batch occupancy, retirements); a
+        no-op when nothing is pending.
+
+        Thread-safe: the engine lock is held for the whole round, so
+        concurrent :meth:`begin_query` / :meth:`stats` callers interleave
+        between rounds, never inside one.
         """
-        report = self._scheduler.decode_round()
-        finished = [p for p in self._pending if p._sequence.finished]
-        for pending in finished:
-            self._finalize(pending)
-        return report
+        with self._lock:
+            report = self._scheduler.decode_round()
+            finished = [p for p in self._pending if p._sequence.finished]
+            for pending in finished:
+                self._finalize(pending)
+            return report
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -445,6 +534,7 @@ class PromptServeEngine:
                    code_cache: dict[str, np.ndarray],
                    prompt_cache: dict[int, np.ndarray]) -> QueryResponse:
         """Sequential reference path: retrieve, restore, decode to the end."""
+        started = time.perf_counter()
         text = request.text
         index, scores = self._retrieve(deployment, text, code_cache)
         generation = request.generation or self.default_generation()
@@ -455,6 +545,7 @@ class PromptServeEngine:
         cost = _deployment_cost(deployment)
         session.queries_served += 1
         self.requests_served += 1
+        self._latency.record(time.perf_counter() - started)
         return QueryResponse(
             user_id=request.user_id,
             text=text,
@@ -473,6 +564,7 @@ class PromptServeEngine:
                    code_cache: dict[str, np.ndarray],
                    prompt_cache: dict[int, np.ndarray],
                    retrieval: tuple[int, np.ndarray] | None = None,
+                   deadline: float | None = None,
                    ) -> PendingQuery:
         """Retrieve/restore/prefill one query and admit it to the decoder.
 
@@ -493,11 +585,14 @@ class PromptServeEngine:
             text, index, self._prompt_restorer(deployment, index, prompt_cache))
         pending = PendingQuery(request)
         pending._session = session
+        pending._admitted_at = time.perf_counter()
         pending._retrieval = (index, tuple(float(s) for s in scores),
                               deployment.engine.n_stored,
                               _deployment_cost(deployment))
-        pending._sequence = self._scheduler.admit(state, generation)
+        pending._sequence = self._scheduler.admit(state, generation,
+                                                 deadline=deadline)
         session.generations_in_flight += 1
+        self.admitted += 1
         self._pending.append(pending)
         if pending._sequence.finished:
             self._finalize(pending)   # e.g. EOS on the very first sample
@@ -506,6 +601,8 @@ class PromptServeEngine:
     def _finalize(self, pending: PendingQuery) -> None:
         """Turn a retired generation into its response (exactly once)."""
         request = pending.request
+        if pending._sequence.finish_reason in ("cancelled", "deadline"):
+            pending.cancelled = True
         index, scores, n_ovts, cost = pending._retrieval
         pending.response = QueryResponse(
             user_id=request.user_id,
@@ -522,4 +619,5 @@ class PromptServeEngine:
         pending._session.queries_served += 1
         pending._session.generations_in_flight -= 1
         self.requests_served += 1
+        self._latency.record(time.perf_counter() - pending._admitted_at)
         self._pending.remove(pending)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the gateway test package.
+
+One pretrained model, one tuned engine, and one running gateway are
+shared package-wide: every end-to-end test exercises the same live
+server the way concurrent clients would, which is exactly the regime the
+gateway exists for.
+"""
+
+import pytest
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.gateway import GatewayClient, GatewayConfig, PromptGateway
+from repro.llm import PretrainConfig, build_model, pretrain_lm
+from repro.serve import PromptServeEngine, TuneRequest
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+@pytest.fixture(scope="package")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+@pytest.fixture(scope="package")
+def engine(setup):
+    model, tok = setup
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"),
+                               max_sessions=4)
+    for user_id in (0, 1):
+        engine.submit(TuneRequest(
+            user_id=user_id,
+            samples=tuple(stream_for(user_id, 10, seed=user_id))))
+    return engine
+
+
+@pytest.fixture(scope="package")
+def gateway(engine):
+    with PromptGateway(engine, GatewayConfig(port=0, max_batch=4)) as gw:
+        yield gw
+
+
+@pytest.fixture(scope="package")
+def client(gateway):
+    host, port = gateway.address
+    with GatewayClient(host, port) as client:
+        yield client

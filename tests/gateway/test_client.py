@@ -1,0 +1,63 @@
+"""Unit tests for the gateway client's retry/backoff machinery."""
+
+import random
+
+import pytest
+
+from repro.gateway import DeadlineExceeded, GatewayError, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(a, None, rng) for a in range(4)]
+        assert delays == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.4), pytest.approx(0.8)]
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=2.0,
+                             jitter=0.0)
+        assert policy.delay(10, None, random.Random(0)) == pytest.approx(2.0)
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(backoff_base_s=0.05, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay(0, 1.5, rng) == pytest.approx(1.5)
+        # ... but a larger computed backoff wins over a small hint.
+        policy = RetryPolicy(backoff_base_s=4.0, backoff_cap_s=8.0,
+                             jitter=0.0)
+        assert policy.delay(0, 1.5, rng) == pytest.approx(4.0)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=1.0,
+                             jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(20):
+            delay = policy.delay(0, None, rng)
+            assert 1.0 <= delay <= 1.5
+
+    def test_default_retry_statuses_are_backpressure(self):
+        assert RetryPolicy().retry_statuses == (429, 503)
+
+
+class TestErrorTypes:
+    def test_gateway_error_carries_payload(self):
+        error = GatewayError(400, {"error": "bad", "status": 400,
+                                   "field": "user_id"})
+        assert error.status == 400
+        assert error.field == "user_id"
+        assert "bad" in str(error)
+
+    def test_gateway_error_without_payload(self):
+        error = GatewayError(503)
+        assert error.field is None
+        assert "503" in str(error)
+
+    def test_deadline_exceeded_partial_answer(self):
+        error = DeadlineExceeded({"error": "deadline exceeded",
+                                  "status": 504,
+                                  "partial_answer": "the answer so f"})
+        assert error.status == 504
+        assert error.partial_answer == "the answer so f"
+        assert isinstance(error, GatewayError)

@@ -1,0 +1,155 @@
+"""Unit tests for the minimal HTTP/1.1 wire layer.
+
+The server and the client share this parser, so the contract under test
+is the round-trip: whatever ``render_request``/``render_response`` emit,
+``read_request``/``read_response`` must parse back exactly — and every
+malformed input must surface as an :class:`HTTPError` with the right
+status, never a raw exception.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway.http import (
+    MAX_BODY_BYTES,
+    HTTPError,
+    HTTPRequest,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+
+
+def run_parser(parser, data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await parser(reader)
+    return asyncio.run(go())
+
+
+def parse_request(data: bytes):
+    return run_parser(read_request, data)
+
+
+def parse_response(data: bytes):
+    return run_parser(read_response, data)
+
+
+class TestRequestRoundTrip:
+    def test_json_body(self):
+        wire = render_request("post", "/v1/query",
+                              {"user_id": 3, "text": "hello"})
+        request = parse_request(wire)
+        assert request.method == "POST"
+        assert request.path == "/v1/query"
+        assert request.json() == {"user_id": 3, "text": "hello"}
+        assert request.keep_alive
+
+    def test_bodyless_get(self):
+        request = parse_request(render_request("GET", "/healthz"))
+        assert request.method == "GET"
+        assert request.body == b""
+
+    def test_connection_close(self):
+        wire = render_request("GET", "/healthz", keep_alive=False)
+        assert not parse_request(wire).keep_alive
+
+    def test_query_string_split(self):
+        request = parse_request(render_request("GET", "/v1/stats?full=1"))
+        assert request.path == "/v1/stats"
+        assert request.query == "full=1"
+
+    def test_eof_between_requests_is_none(self):
+        assert parse_request(b"") is None
+
+
+class TestMalformedRequests:
+    def test_bad_request_line(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_protocol(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"GET / SPDY/9\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_header_line(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: two\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        wire = (f"POST / HTTP/1.1\r\nContent-Length: "
+                f"{MAX_BODY_BYTES + 1}\r\n\r\n").encode()
+        with pytest.raises(HTTPError) as info:
+            parse_request(wire)
+        assert info.value.status == 413
+
+    def test_truncated_body(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab")
+        assert info.value.status == 400
+
+    def test_truncated_head(self):
+        with pytest.raises(HTTPError) as info:
+            parse_request(b"GET / HTT")
+        assert info.value.status == 400
+
+
+class TestJSONBody:
+    def test_missing_body_is_400(self):
+        request = HTTPRequest(method="POST", path="/v1/query")
+        with pytest.raises(HTTPError) as info:
+            request.json()
+        assert info.value.status == 400
+        assert info.value.field == "body"
+
+    def test_malformed_json_is_400(self):
+        request = HTTPRequest(method="POST", path="/", body=b"{nope")
+        with pytest.raises(HTTPError) as info:
+            request.json()
+        assert info.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        request = HTTPRequest(method="POST", path="/", body=b"[1, 2]")
+        with pytest.raises(HTTPError):
+            request.json()
+
+
+class TestResponseRoundTrip:
+    def test_json_payload(self):
+        wire = render_response(200, {"answer": "ok"})
+        response = parse_response(wire)
+        assert response.status == 200
+        assert response.json() == {"answer": "ok"}
+        assert response.keep_alive
+
+    def test_retry_after_header(self):
+        wire = render_response(429, {"error": "full"},
+                               extra_headers={"Retry-After": "1.50"})
+        response = parse_response(wire)
+        assert response.status == 429
+        assert response.retry_after == pytest.approx(1.5)
+
+    def test_no_retry_after(self):
+        assert parse_response(render_response(200, {})).retry_after is None
+
+    def test_close_flag(self):
+        wire = render_response(400, {"error": "x"}, keep_alive=False)
+        assert not parse_response(wire).keep_alive
+
+    def test_error_body_contract(self):
+        error = HTTPError(400, "bad field", field="user_id")
+        body = error.body()
+        assert body == {"error": "bad field", "status": 400,
+                        "field": "user_id"}

@@ -1,0 +1,110 @@
+"""Unit tests for the gateway's round-admission policies."""
+
+import pytest
+
+from repro.gateway.scheduler import (
+    DeadlineFairPolicy,
+    FIFOPolicy,
+    QueuedQuery,
+    available_policies,
+    build_policy,
+    register_policy,
+)
+from repro.gateway.scheduler import POLICIES
+from repro.serve import QueryRequest
+
+
+def queued(sequence, user_id=0, deadline=None):
+    return QueuedQuery(
+        request=QueryRequest(user_id=user_id, text=f"q{sequence}"),
+        sequence=sequence, enqueued_at=0.0, deadline=deadline)
+
+
+class TestFIFO:
+    def test_arrival_order(self):
+        queue = [queued(i, user_id=i) for i in range(5)]
+        picks = FIFOPolicy().select(queue, 3, now=0.0, in_flight={})
+        assert [q.sequence for q in picks] == [0, 1, 2]
+
+    def test_more_slots_than_work(self):
+        queue = [queued(0), queued(1)]
+        picks = FIFOPolicy().select(queue, 8, now=0.0, in_flight={})
+        assert len(picks) == 2
+
+    def test_zero_slots(self):
+        assert FIFOPolicy().select([queued(0)], 0, 0.0, {}) == []
+
+
+class TestDeadlineFair:
+    def test_earliest_deadline_first(self):
+        queue = [queued(0, user_id=0, deadline=9.0),
+                 queued(1, user_id=1, deadline=1.0),
+                 queued(2, user_id=2, deadline=5.0)]
+        picks = DeadlineFairPolicy().select(queue, 2, now=0.0, in_flight={})
+        assert [q.sequence for q in picks] == [1, 2]
+
+    def test_deadline_free_requests_fall_back_to_fifo(self):
+        queue = [queued(0, user_id=0), queued(1, user_id=1),
+                 queued(2, user_id=2, deadline=1.0)]
+        picks = DeadlineFairPolicy().select(queue, 3, now=0.0, in_flight={})
+        # The one with an SLO jumps the line; the rest keep arrival order.
+        assert [q.sequence for q in picks] == [2, 0, 1]
+
+    def test_fair_share_defers_the_chatty_user(self):
+        # User 0 floods the queue with tight deadlines; user 1 arrives
+        # later with none.  The per-user cap (2) still lets user 1 in.
+        queue = [queued(0, user_id=0, deadline=1.0),
+                 queued(1, user_id=0, deadline=2.0),
+                 queued(2, user_id=0, deadline=3.0),
+                 queued(3, user_id=1)]
+        picks = DeadlineFairPolicy(fair_share=2).select(
+            queue, 3, now=0.0, in_flight={})
+        assert [q.sequence for q in picks] == [0, 1, 3]
+
+    def test_in_flight_counts_toward_the_cap(self):
+        queue = [queued(0, user_id=0, deadline=1.0), queued(1, user_id=1)]
+        picks = DeadlineFairPolicy(fair_share=2).select(
+            queue, 2, now=0.0, in_flight={0: 2})
+        # User 0 already holds two decode slots: user 1 goes first.
+        assert [q.sequence for q in picks] == [1, 0]
+
+    def test_capped_entries_still_fill_idle_slots(self):
+        # Only one user queued: the cap must not leave slots empty.
+        queue = [queued(i, user_id=0, deadline=float(i)) for i in range(4)]
+        picks = DeadlineFairPolicy(fair_share=1).select(
+            queue, 4, now=0.0, in_flight={})
+        assert len(picks) == 4
+
+    def test_invalid_fair_share(self):
+        with pytest.raises(ValueError):
+            DeadlineFairPolicy(fair_share=0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_policies()) >= {"fifo", "deadline"}
+
+    def test_build_by_name(self):
+        assert isinstance(build_policy("fifo"), FIFOPolicy)
+        policy = build_policy("deadline", fair_share=3)
+        assert isinstance(policy, DeadlineFairPolicy)
+        assert policy.fair_share == 3
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError):
+            build_policy("round-robin")
+
+    def test_register_custom(self):
+        class Reversed(FIFOPolicy):
+            name = "reversed"
+
+            def select(self, queue, slots, now, in_flight):
+                return list(queue)[::-1][:slots]
+
+        register_policy("test-reversed", Reversed)
+        try:
+            picks = build_policy("test-reversed").select(
+                [queued(0), queued(1)], 1, 0.0, {})
+            assert [q.sequence for q in picks] == [1]
+        finally:
+            POLICIES.unregister("test-reversed")

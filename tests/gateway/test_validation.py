@@ -1,0 +1,127 @@
+"""Unit tests for typed request validation.
+
+Contract: every malformed payload raises :class:`ValidationError` whose
+``field`` names exactly the offending field (the structured-400 wire
+shape), and well-formed payloads parse into the same request objects a
+direct caller would construct.
+"""
+
+import pytest
+
+from repro.gateway.validation import (
+    ValidationError,
+    generation_to_dict,
+    parse_query_request,
+    parse_tune_request,
+)
+from repro.llm import GenerationConfig
+
+
+def query_payload(**overrides):
+    payload = {"user_id": 7, "text": "what genre is this?"}
+    payload.update(overrides)
+    return payload
+
+
+def tune_payload(**overrides):
+    payload = {"user_id": 7, "samples": [
+        {"input_text": "a movie", "target_text": "sci-fi"},
+        {"input_text": "b movie", "target_text": "horror"},
+    ]}
+    payload.update(overrides)
+    return payload
+
+
+class TestQueryParsing:
+    def test_minimal(self):
+        request = parse_query_request(query_payload())
+        assert request.user_id == 7
+        assert request.text == "what genre is this?"
+        assert request.generation is None
+        assert request.request_id == ""
+
+    def test_full_generation(self):
+        request = parse_query_request(query_payload(
+            generation={"max_new_tokens": 4, "temperature": 0.5,
+                        "seed": 9, "eos_id": 2},
+            request_id="r-1"))
+        assert request.generation == GenerationConfig(
+            max_new_tokens=4, temperature=0.5, seed=9, eos_id=2)
+        assert request.request_id == "r-1"
+
+    def test_generation_round_trips_through_wire_form(self):
+        config = GenerationConfig(max_new_tokens=6, temperature=0.25,
+                                  seed=11, eos_id=3)
+        parsed = parse_query_request(
+            query_payload(generation=generation_to_dict(config)))
+        assert parsed.generation == config
+
+    @pytest.mark.parametrize("payload, field", [
+        ({"text": "hi"}, "user_id"),
+        ({"user_id": 1}, "text"),
+        (query_payload(user_id="seven"), "user_id"),
+        (query_payload(user_id=True), "user_id"),
+        (query_payload(text=123), "text"),
+        (query_payload(text=""), "text"),
+        (query_payload(request_id=5), "request_id"),
+        (query_payload(generation=[1]), "generation"),
+        (query_payload(generation={"beam_width": 4}),
+         "generation.beam_width"),
+        (query_payload(generation={"max_new_tokens": "many"}),
+         "generation.max_new_tokens"),
+        (query_payload(generation={"temperature": float("nan")}),
+         "generation.temperature"),
+        (query_payload(generation={"seed": 1.5}), "generation.seed"),
+    ])
+    def test_malformed_names_the_field(self, payload, field):
+        with pytest.raises(ValidationError) as info:
+            parse_query_request(payload)
+        assert info.value.status == 400
+        assert info.value.field == field
+
+
+class TestTuneParsing:
+    def test_minimal(self):
+        request = parse_tune_request(tune_payload())
+        assert request.user_id == 7
+        assert len(request.samples) == 2
+        assert request.samples[0].input_text == "a movie"
+        assert request.samples[0].target_text == "sci-fi"
+        assert request.samples[0].user_id == 7
+
+    def test_task_and_domain_default(self):
+        request = parse_tune_request(tune_payload())
+        assert request.samples[0].task == "http"
+        assert request.samples[0].domain == "http"
+
+    def test_explicit_task_and_domain(self):
+        request = parse_tune_request(tune_payload(samples=[
+            {"input_text": "x", "target_text": "y",
+             "task": "LaMP-2", "domain": "movies"}]))
+        assert request.samples[0].task == "LaMP-2"
+        assert request.samples[0].domain == "movies"
+
+    @pytest.mark.parametrize("payload, field", [
+        ({"samples": []}, "user_id"),
+        ({"user_id": 1}, "samples"),
+        (tune_payload(samples=[]), "samples"),
+        (tune_payload(samples="lots"), "samples"),
+        (tune_payload(samples=["not a dict"]), "samples[0]"),
+        (tune_payload(samples=[{"target_text": "y"}]),
+         "samples[0].input_text"),
+        (tune_payload(samples=[{"input_text": "x", "target_text": "y"},
+                               {"input_text": "x"}]),
+         "samples[1].target_text"),
+        (tune_payload(samples=[{"input_text": 3, "target_text": "y"}]),
+         "samples[0].input_text"),
+    ])
+    def test_malformed_names_the_field(self, payload, field):
+        with pytest.raises(ValidationError) as info:
+            parse_tune_request(payload)
+        assert info.value.status == 400
+        assert info.value.field == field
+
+    def test_empty_target_text_allowed(self):
+        request = parse_tune_request(tune_payload(samples=[
+            {"input_text": "x", "target_text": ""}]))
+        assert request.samples[0].target_text == ""

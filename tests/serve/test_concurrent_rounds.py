@@ -1,0 +1,260 @@
+"""Thread-safety tests for the serving engine's decode hot path.
+
+The gateway drives ``begin_query``/``run_decode_round`` from a worker
+thread while HTTP handlers call ``submit``/``stats``/``drop_session``
+from others, so the engine's lock must make arbitrary interleavings of
+its entry points equivalent to *some* sequential order — admissions land
+in batch slots exactly once, eviction mid-round cannot corrupt another
+user's answer, and the admission bound holds under racing producers.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import PromptServeEngine, QueryRequest, QueueFull, TuneRequest
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def fast_config(**overrides):
+    return FrameworkConfig.preset("fast", **overrides)
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def build_engine(setup, user_ids=(0, 1, 2), **engine_kwargs):
+    model, tok = setup
+    engine = PromptServeEngine(model, tok, fast_config(),
+                               max_sessions=engine_kwargs.pop(
+                                   "max_sessions", 4),
+                               **engine_kwargs)
+    for user_id in user_ids:
+        engine.submit(TuneRequest(
+            user_id=user_id,
+            samples=tuple(stream_for(user_id, 10, seed=user_id))))
+    return engine
+
+
+def requests_for(tok, user_ids=(0, 1, 2), per_user=2):
+    generation = GenerationConfig(max_new_tokens=6, temperature=0.1,
+                                  seed=3, eos_id=tok.eos_id)
+    return [QueryRequest(user_id=user_id, text=sample.input_text,
+                         generation=generation,
+                         request_id=f"u{user_id}-q{i}")
+            for user_id in user_ids
+            for i, sample in enumerate(stream_for(user_id, per_user,
+                                                  seed=42))]
+
+
+def drive_until_done(engine, handles, max_rounds=2000):
+    rounds = 0
+    while not all(p.done for p in handles):
+        engine.run_decode_round()
+        rounds += 1
+        assert rounds < max_rounds, "decode did not converge"
+
+
+class TestConcurrentAdmissionAndRounds:
+    def test_threaded_begin_query_matches_sequential(self, setup):
+        _, tok = setup
+        engine = build_engine(setup)
+        requests = requests_for(tok)
+        reference = [engine.query(request) for request in requests]
+
+        handles = [None] * len(requests)
+        start = threading.Barrier(4)
+        stop = threading.Event()
+
+        def submitter(user_id):
+            start.wait()
+            for index, request in enumerate(requests):
+                if request.user_id == user_id:
+                    handles[index] = engine.begin_query(request)
+
+        def driver():
+            start.wait()
+            while not stop.is_set():
+                engine.run_decode_round()
+
+        submitters = [threading.Thread(target=submitter, args=(uid,))
+                      for uid in (0, 1, 2)]
+        rounds = threading.Thread(target=driver)
+        for thread in (*submitters, rounds):
+            thread.start()
+        for thread in submitters:
+            thread.join(timeout=60)
+        try:
+            drive_until_done(engine, [h for h in handles if h is not None])
+        finally:
+            stop.set()
+            rounds.join(timeout=60)
+        assert all(handle is not None for handle in handles)
+        assert [handle.response for handle in handles] == reference
+
+    def test_eviction_mid_round_under_load(self, setup):
+        _, tok = setup
+        engine = build_engine(setup)
+        requests = requests_for(tok)
+        survivors = [r for r in requests if r.user_id != 1]
+        reference = {r.request_id: engine.query(r) for r in survivors}
+
+        handles = [engine.begin_query(r) for r in requests]
+        engine.run_decode_round()          # everyone produces a token
+        start = threading.Barrier(2)
+        evicted = []
+
+        def evictor():
+            start.wait()
+            evicted.append(engine.drop_session(1, cancel_pending=True))
+
+        thread = threading.Thread(target=evictor)
+        thread.start()
+        start.wait()
+        drive_until_done(engine, handles)
+        thread.join(timeout=60)
+        assert evicted == [True]
+        for request, handle in zip(requests, handles):
+            if request.user_id == 1:
+                assert handle.done      # cancelled or completed, never lost
+            else:
+                assert not handle.cancelled
+                assert handle.response == reference[request.request_id]
+
+    def test_concurrent_stats_and_observes_during_rounds(self, setup):
+        _, tok = setup
+        engine = build_engine(setup)
+        handles = [engine.begin_query(r) for r in requests_for(tok)]
+        errors = []
+        stop = threading.Event()
+        # A few extra observations (not enough to fire a retraining
+        # epoch) racing the decode rounds, plus a stats poll per lap.
+        extras = iter(stream_for(0, 5, seed=77))
+
+        def poker():
+            try:
+                while not stop.is_set():
+                    stats = engine.stats()
+                    assert stats["queue_depth"] >= 0
+                    sample = next(extras, None)
+                    if sample is not None:
+                        engine.observe(0, sample)
+            except Exception as error:      # pragma: no cover
+                errors.append(error)
+
+        thread = threading.Thread(target=poker)
+        thread.start()
+        try:
+            drive_until_done(engine, handles)
+        finally:
+            stop.set()
+            thread.join(timeout=60)
+        assert not errors
+        assert all(handle.response.answer is not None
+                   for handle in handles)
+
+
+class TestAdmissionBound:
+    def test_begin_query_rejects_beyond_max_pending(self, setup):
+        _, tok = setup
+        engine = build_engine(setup, user_ids=(0,), max_pending=2)
+        requests = requests_for(tok, user_ids=(0,), per_user=3)
+        first = engine.begin_query(requests[0])
+        second = engine.begin_query(requests[1])
+        with pytest.raises(QueueFull) as info:
+            engine.begin_query(requests[2])
+        assert "2" in str(info.value)
+        stats = engine.stats()
+        assert stats["rejected"] == 1
+        assert stats["admitted"] == 2
+        assert stats["max_pending"] == 2
+        drive_until_done(engine, [first, second])
+        # Slots freed: the rejected request is admissible now.
+        third = engine.begin_query(requests[2])
+        drive_until_done(engine, [third])
+        assert engine.stats()["admitted"] == 3
+
+    def test_racing_producers_never_exceed_the_bound(self, setup):
+        _, tok = setup
+        engine = build_engine(setup, max_pending=4)
+        requests = requests_for(tok, per_user=4)
+        admitted = []
+        rejected = []
+        lock = threading.Lock()
+        start = threading.Barrier(3)
+
+        def producer(user_id):
+            start.wait()
+            for request in requests:
+                if request.user_id != user_id:
+                    continue
+                try:
+                    handle = engine.begin_query(request)
+                except QueueFull as error:
+                    with lock:
+                        rejected.append(error)
+                else:
+                    with lock:
+                        admitted.append(handle)
+
+        threads = [threading.Thread(target=producer, args=(uid,))
+                   for uid in (0, 1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # Nothing drains the queue while the producers race, so exactly
+        # max_pending admissions can land no matter the interleaving.
+        assert len(admitted) == 4
+        assert len(rejected) == 8
+        stats = engine.stats()
+        assert stats["queue_depth"] == 4
+        assert stats["admitted"] == 4
+        assert stats["rejected"] == 8
+        drive_until_done(engine, admitted)
+
+
+class TestCancellation:
+    def test_cancel_query_retires_with_prefix(self, setup):
+        _, tok = setup
+        engine = build_engine(setup, user_ids=(0,))
+        # No EOS and a long budget: the generation must still be in
+        # flight after two rounds so the cancel lands mid-decode.
+        generation = GenerationConfig(max_new_tokens=16, temperature=0.1,
+                                      seed=3, eos_id=None)
+        sample = next(iter(stream_for(0, 1, seed=42)))
+        request = QueryRequest(user_id=0, text=sample.input_text,
+                               generation=generation, request_id="cancel-0")
+        full = engine.query(request)
+        pending = engine.begin_query(request)
+        engine.run_decode_round()
+        engine.run_decode_round()
+        assert engine.cancel_query(pending) is True
+        assert pending.done
+        assert pending.cancelled
+        assert full.answer.startswith(pending.response.answer)
+        # Cancelling a finished query is a no-op.
+        assert engine.cancel_query(pending) is False
+
+    def test_latency_histogram_records_served_queries(self, setup):
+        _, tok = setup
+        engine = build_engine(setup, user_ids=(0,))
+        for request in requests_for(tok, user_ids=(0,), per_user=3):
+            engine.query(request)
+        latency = engine.stats()["latency_ms"]
+        assert latency["count"] == 3
+        assert 0.0 < latency["p50_ms"] <= latency["p99_ms"] <= \
+            latency["max_ms"]
