@@ -1,0 +1,177 @@
+"""Session restore vs re-tune: the case for durable sessions.
+
+When a user falls out of the serving engine's LRU, bringing them back
+either replays their whole tuning history (every epoch, every
+autoencoder fit, every crossbar reprogram) or restores a
+:class:`SessionSnapshot` the eviction spilled to a
+:class:`SessionStore`.  This benchmark times both paths against the same
+trained user and checks the restored session answers byte-identically —
+restore must be dramatically cheaper, or spilling would be pointless.
+
+Both capture modes are measured: ``raw`` ships crossbar conductances and
+generator states (bigger blob, zero reprogramming on restore); ``recipe``
+ships counters only and replays the deterministic programming (tiny
+blob, one reprogram's latency).  The ``--smoke`` gate requires the
+faster mode to beat re-tuning by ``--min-restore-speedup`` (default 5x).
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_session_store.py           # timing
+    PYTHONPATH=src python benchmarks/bench_session_store.py --smoke   # CI gate
+    PYTHONPATH=src python benchmarks/bench_session_store.py --quick \
+        --json BENCH_session_store.json                               # artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import (
+    PromptServeEngine,
+    QueryRequest,
+    SessionSnapshot,
+    TuneRequest,
+)
+
+USER_ID = 0
+
+
+def best_of(fn, reps: int, rounds: int = 3) -> float:
+    """Best per-call seconds over ``rounds`` timing loops."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def build_stack():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def samples_for(count: int):
+    ds = make_dataset("LaMP-2")
+    return tuple(ds.generate(make_user(USER_ID, seed=0), count, seed=0))
+
+
+def tune_fresh_session(model, tok, samples):
+    """The restore-less path: retrain the user from their history."""
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"))
+    engine.submit(TuneRequest(user_id=USER_ID, samples=samples))
+    return engine
+
+
+def run(n_samples: int, reps_restore: int, rounds_tune: int,
+        min_speedup: float, json_path: str | None) -> int:
+    model, tok = build_stack()
+    samples = samples_for(n_samples)
+    engine = tune_fresh_session(model, tok, samples)
+    generation = GenerationConfig(max_new_tokens=4, temperature=0.0,
+                                  eos_id=tok.eos_id)
+    query = samples[-1].input_text
+    expected = engine.query(QueryRequest(user_id=USER_ID, text=query,
+                                         generation=generation)).answer
+    session = engine.session(USER_ID)
+
+    print(f"=== session store: {n_samples} samples, "
+          f"{len(session.library)} OVTs, fast preset ===")
+
+    t_tune = best_of(lambda: tune_fresh_session(model, tok, samples),
+                     reps=1, rounds=rounds_tune)
+    print(f"re-tune from history:   {t_tune * 1e3:9.1f} ms")
+
+    equivalent = True
+    mode_reports = []
+    for mode in ("raw", "recipe"):
+        t_capture = best_of(
+            lambda m=mode: SessionSnapshot.capture(session, mode=m)
+            .to_bytes(), reps_restore)
+        blob = SessionSnapshot.capture(session, mode=mode).to_bytes()
+        t_restore = best_of(
+            lambda b=blob: SessionSnapshot.from_bytes(b)
+            .build_session(model, tok).deployment(), reps_restore)
+        restored = SessionSnapshot.from_bytes(blob).build_session(model, tok)
+        answer = restored.answer(query, generation)
+        if answer != expected:
+            print(f"FAIL: {mode} restore answered {answer!r}, "
+                  f"expected {expected!r}")
+            equivalent = False
+        speedup = t_tune / t_restore
+        mode_reports.append({
+            "mode": mode,
+            "blob_kb": len(blob) / 1024,
+            "capture_ms": t_capture * 1e3,
+            "restore_ms": t_restore * 1e3,
+            "speedup_vs_retune": speedup,
+        })
+        print(f"{mode:>7}: blob {len(blob) / 1024:8.1f} KiB  "
+              f"capture {t_capture * 1e3:7.1f} ms  "
+              f"restore {t_restore * 1e3:7.1f} ms  "
+              f"-> {speedup:6.1f}x vs re-tune")
+
+    best_speedup = max(report["speedup_vs_retune"]
+                       for report in mode_reports)
+
+    if json_path:
+        payload = {
+            "benchmark": "session_store",
+            "config": {"n_samples": n_samples, "preset": "fast",
+                       "user_id": USER_ID},
+            "retune_ms": t_tune * 1e3,
+            "modes": mode_reports,
+            "best_restore_speedup": best_speedup,
+            "equivalent": equivalent,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
+
+    failures = 0
+    if not equivalent:
+        failures += 1
+    if best_speedup < min_speedup:
+        print(f"FAIL: best restore speedup {best_speedup:.1f}x below "
+              f"required {min_speedup}x")
+        failures += 1
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast gated run for CI")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
+    parser.add_argument("--samples", type=int, default=10,
+                        help="training samples in the user's history")
+    parser.add_argument("--min-restore-speedup", type=float, default=5.0,
+                        help="required speedup of the fastest restore mode "
+                             "over re-tuning the session from scratch")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.smoke or args.quick:
+        reps_restore, rounds_tune = 3, 1
+    else:
+        reps_restore, rounds_tune = 10, 3
+    return run(args.samples, reps_restore, rounds_tune,
+               args.min_restore_speedup, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

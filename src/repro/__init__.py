@@ -72,6 +72,9 @@ from .serve import (
     QueryRequest,
     QueryResponse,
     QueueFull,
+    SessionSnapshot,
+    SessionStore,
+    ShardedPromptEngine,
     TuneRequest,
     TuneResponse,
     UserSession,
@@ -82,7 +85,8 @@ __version__ = "0.2.0"
 
 __all__ = [
     # Serving layer
-    "PromptServeEngine", "UserSession", "QueueFull",
+    "PromptServeEngine", "ShardedPromptEngine", "UserSession", "QueueFull",
+    "SessionSnapshot", "SessionStore",
     "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
     # Serving edge
     "PromptGateway", "GatewayConfig", "GatewayClient",

@@ -447,3 +447,139 @@ class CiMMatrix:
     def ideal_matrix(self) -> np.ndarray:
         """The noise-free stored values (after int16 quantization)."""
         return self.codec.decode(self._ints)
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self, *, include_state: bool = True) -> dict:
+        """Versioned capture of the stored matrix's durable state.
+
+        ``include_state=True`` captures everything
+        :meth:`from_snapshot` needs to rebuild this matrix bit-identically
+        *without* reprogramming: the int16 codewords, the tile
+        conductances and generator states (via the bank / per-tile
+        snapshots), mitigation calibration, and cumulative counters.
+        ``include_state=False`` is the compact recipe form: geometry and
+        counters only, for callers that re-program deterministically and
+        then :meth:`restore` the counters on top.
+        """
+        snap = {
+            "version": self.SNAPSHOT_VERSION,
+            "shape": [int(d) for d in self.shape],
+            "subarray_rows": self.subarray_rows,
+            "subarray_cols": self.subarray_cols,
+            "sigma": self.sigma,
+            "adc_bits": self._adc_bits,
+            "n_slices": self.n_slices,
+            "vectorized": self.vectorized,
+            "mitigation": self.mitigation.name,
+        }
+        if self.vectorized:
+            snap["bank"] = self.bank.snapshot(include_state=include_state)
+        else:
+            snap["tiles"] = [tile.snapshot(include_state=include_state)
+                             for tile in self._iter_reference_tiles()]
+        if include_state:
+            snap["codec_scale"] = float(self.codec.scale)
+            snap["ints"] = self._ints.copy()
+            snap["calibration"] = {key: value.copy()
+                                   for key, value in self.calibration.items()}
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Apply a :meth:`snapshot` onto this (already built) matrix.
+
+        A counters-only snapshot re-seats the operation counters (the
+        recipe restore path); a full snapshot additionally restores the
+        codewords, conductances, generator states and calibration.
+        """
+        self._check_snapshot(snap)
+        if self.vectorized:
+            self.bank.restore(snap["bank"])
+        else:
+            for tile, tile_snap in zip(self._iter_reference_tiles(),
+                                       snap["tiles"]):
+                tile.restore(tile_snap)
+        if "ints" in snap:
+            self.codec = Int16Codec(scale=float(snap["codec_scale"]))
+            self._ints = np.asarray(snap["ints"], dtype=np.int16).copy()
+            self._digits = slice_to_digits(self._ints,
+                                           self.device.bits_per_cell)
+            self.calibration = {key: np.asarray(value).copy()
+                                for key, value in snap["calibration"].items()}
+
+    def _check_snapshot(self, snap: dict) -> None:
+        if snap.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported CiMMatrix snapshot version "
+                f"{snap.get('version')!r}")
+        if tuple(snap["shape"]) != tuple(self.shape):
+            raise ValueError(
+                f"snapshot shape {tuple(snap['shape'])} does not match "
+                f"stored matrix {self.shape}")
+        if bool(snap["vectorized"]) != self.vectorized:
+            raise ValueError("snapshot layout does not match this matrix "
+                             "(vectorized flag differs)")
+
+    @classmethod
+    def from_snapshot(cls, snap: dict, device: NVMDevice, *,
+                      mitigation: MitigationHooks | None = None,
+                      ) -> "CiMMatrix":
+        """Rebuild a matrix from a full :meth:`snapshot`, bit-identically.
+
+        No programming happens: conductances, counters and generator
+        states come straight from the snapshot, so the restore neither
+        redraws noise nor bills a single write pulse.  ``device`` and
+        ``mitigation`` are reconstructed by the caller (they are config,
+        not state — the snapshot records only the mitigation's name).
+        """
+        if "ints" not in snap:
+            raise ValueError(
+                "counters-only snapshot cannot rebuild a CiMMatrix; "
+                "capture with include_state=True or replay programming")
+        self = object.__new__(cls)
+        self.device = device
+        self.sigma = float(snap["sigma"])
+        self.subarray_rows = int(snap["subarray_rows"])
+        self.subarray_cols = int(snap["subarray_cols"])
+        self.mitigation = mitigation or NullMitigation()
+        if self.mitigation.name != snap["mitigation"]:
+            raise ValueError(
+                f"snapshot was captured with mitigation "
+                f"{snap['mitigation']!r}, got {self.mitigation.name!r}")
+        self.vectorized = bool(snap["vectorized"])
+        self._rng = np.random.default_rng(0)   # unused post-build
+        self.shape = tuple(int(d) for d in snap["shape"])
+        self.codec = Int16Codec(scale=float(snap["codec_scale"]))
+        self._ints = np.asarray(snap["ints"], dtype=np.int16).copy()
+        self._digits = slice_to_digits(self._ints, device.bits_per_cell)
+        self.n_slices = int(snap["n_slices"])
+        self._adc_bits = int(snap["adc_bits"])
+        d, n = self.shape
+        self.n_row_tiles = -(-d // self.subarray_rows)
+        self.n_col_tiles = -(-n // self.subarray_cols)
+        self._tiles = []
+        self.bank = None
+        self._chunk_map = None
+        self.calibration = {}
+        tile_count = self.n_slices * self.n_row_tiles * self.n_col_tiles
+        if self.vectorized:
+            self.bank = TileBank(device, tile_count,
+                                 rows=self.subarray_rows,
+                                 cols=self.subarray_cols,
+                                 sigma=self.sigma, adc_bits=self._adc_bits)
+        else:
+            for _ in range(self.n_slices):
+                row_tiles = []
+                for _ in range(self.n_row_tiles):
+                    row_tiles.append([
+                        CrossbarArray(device, rows=self.subarray_rows,
+                                      cols=self.subarray_cols,
+                                      sigma=self.sigma,
+                                      adc_bits=self._adc_bits)
+                        for _ in range(self.n_col_tiles)])
+                self._tiles.append(row_tiles)
+        self.restore(snap)
+        return self

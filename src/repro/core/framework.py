@@ -339,6 +339,77 @@ class NVCiMDeployment:
         out = generate(self.model, ids, generation, soft_prompt=prompt)
         return self.tokenizer.decode(out)
 
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self, *, include_state: bool = True) -> dict:
+        """Versioned capture of the deployment's durable NVM state.
+
+        With ``include_state`` ("raw" snapshots) the per-scale crossbar
+        stores travel in full — conductances, counters, generator states
+        — so :meth:`from_snapshot` brings the deployment back
+        bit-identically without one programming pulse.  Without it (the
+        "recipe" form) only cumulative counters travel: the deployment
+        constructor re-programs deterministically from the library
+        (its engine generator is derived purely from the config), and
+        :meth:`restore_counters` re-seats the counters afterwards so the
+        rebuild does not double-bill write pulses.
+        """
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            "scales": [float(s) for s in self._scales],
+            "engine": self.engine.snapshot(include_state=include_state),
+        }
+
+    def restore_counters(self, snap: dict) -> None:
+        """Re-seat cumulative counters after a deterministic rebuild."""
+        self._check_snapshot(snap)
+        self.engine.restore_counters(snap["engine"])
+
+    def _check_snapshot(self, snap: dict) -> None:
+        if snap.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported NVCiMDeployment snapshot version "
+                f"{snap.get('version')!r}")
+        if len(snap["scales"]) != len(self.library.ovts):
+            raise ValueError(
+                f"snapshot holds {len(snap['scales'])} OVTs, library has "
+                f"{len(self.library.ovts)}")
+
+    @classmethod
+    def from_snapshot(cls, model: TinyCausalLM, tokenizer: Tokenizer,
+                      library: OVTLibrary, config: FrameworkConfig,
+                      snap: dict) -> "NVCiMDeployment":
+        """Rebuild a deployment from a full snapshot without programming.
+
+        ``model``/``tokenizer``/``library``/``config`` are supplied by
+        the caller (the session snapshot carries the library and config;
+        the model is ambient), and the NVM state — conductances, counters
+        and generator states — comes back bit-identically from ``snap``.
+        """
+        if not library.ovts:
+            raise ValueError("cannot restore a deployment without a library")
+        self = object.__new__(cls)
+        self.model = model
+        self.tokenizer = tokenizer
+        self.library = library
+        self.config = config
+        self._scales = [float(s) for s in snap.get("scales", ())]
+        self._check_snapshot(snap)
+        mitigation = (make_mitigation(config.mitigation)
+                      if config.mitigation != "none" else None)
+        self.engine = CiMSearchEngine.from_snapshot(
+            snap["engine"],
+            get_device(config.device_name),
+            config=config.search_config(),
+            mitigation=mitigation,
+            rng=derive_rng(config.seed, "deployment", config.device_name,
+                           config.mitigation, config.retrieval),
+        )
+        return self
+
 
 class NVCiMPT:
     """Facade: continuous learning plus NVM-backed inference.

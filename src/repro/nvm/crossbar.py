@@ -26,7 +26,12 @@ import numpy as np
 
 from .device_models import NVMDevice
 
-__all__ = ["CrossbarArray", "CrossbarStats", "TileBank", "TileView"]
+__all__ = ["CrossbarArray", "CrossbarStats", "TileBank", "TileView",
+           "SNAPSHOT_VERSION"]
+
+# Version of the snapshot dicts produced by CrossbarArray.snapshot() /
+# TileBank.snapshot(); restore() refuses anything it does not understand.
+SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -47,6 +52,56 @@ class CrossbarStats:
         self.adc_conversions += other.adc_conversions
         self.cell_reads += other.cell_reads
         return self
+
+    def subtract(self, other: "CrossbarStats") -> "CrossbarStats":
+        """Remove another counter set from this one (returns self).
+
+        Used when a spilled session is restored: the engine un-banks the
+        counters it banked at eviction so the resident session's own
+        (restored) counters are not counted twice.
+        """
+        self.cells_programmed -= other.cells_programmed
+        self.write_pulses -= other.write_pulses
+        self.mvm_ops -= other.mvm_ops
+        self.adc_conversions -= other.adc_conversions
+        self.cell_reads -= other.cell_reads
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "cells_programmed": int(self.cells_programmed),
+            "write_pulses": int(self.write_pulses),
+            "mvm_ops": int(self.mvm_ops),
+            "adc_conversions": int(self.adc_conversions),
+            "cell_reads": int(self.cell_reads),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrossbarStats":
+        return cls(**{key: int(value) for key, value in data.items()})
+
+
+def _check_snapshot_version(snap: dict, kind: str) -> None:
+    version = snap.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported {kind} snapshot version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})")
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    """A generator's bit-generator state as a plain (codec-safe) dict."""
+    state = rng.bit_generator.state
+    return {"name": state["bit_generator"], "state": state}
+
+
+def _restore_rng_state(rng: np.random.Generator, snap: dict) -> None:
+    state = snap["state"]
+    if state["bit_generator"] != type(rng.bit_generator).__name__:
+        raise ValueError(
+            f"snapshot holds a {state['bit_generator']} generator state "
+            f"but the target uses {type(rng.bit_generator).__name__}")
+    rng.bit_generator.state = state
 
 
 class CrossbarArray:
@@ -157,6 +212,51 @@ class CrossbarArray:
     def _require_programmed(self) -> None:
         if not self._programmed:
             raise RuntimeError("crossbar has not been programmed")
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def snapshot(self, *, include_state: bool = True) -> dict:
+        """Versioned capture of this array's durable state.
+
+        With ``include_state`` the snapshot holds everything needed to
+        bring the array back bit-identically without replaying
+        programming: raw conductances, target levels, cumulative
+        counters, and the programming generator's state.  Without it,
+        only the counters travel — the compact form used when the caller
+        can replay programming deterministically.
+        """
+        snap = {
+            "version": SNAPSHOT_VERSION,
+            "kind": "crossbar",
+            "rows": self.rows,
+            "cols": self.cols,
+            "sigma": self.sigma,
+            "adc_bits": self.adc_bits,
+            "counters": self.stats.to_dict(),
+        }
+        if include_state:
+            snap["programmed"] = self._programmed
+            snap["target_levels"] = self._target_levels.copy()
+            snap["conductance"] = self._conductance.copy()
+            snap["rng"] = _rng_state(self._rng)
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Apply a :meth:`snapshot`; geometry must match exactly."""
+        _check_snapshot_version(snap, "crossbar")
+        if (snap["rows"], snap["cols"]) != (self.rows, self.cols):
+            raise ValueError(
+                f"snapshot geometry {snap['rows']}x{snap['cols']} does not "
+                f"match this {self.rows}x{self.cols} array")
+        self.stats = CrossbarStats.from_dict(snap["counters"])
+        if "conductance" in snap:
+            self._target_levels = np.asarray(snap["target_levels"],
+                                             dtype=np.int64).copy()
+            self._conductance = np.asarray(snap["conductance"],
+                                           dtype=np.float32).copy()
+            self._programmed = bool(snap["programmed"])
+            _restore_rng_state(self._rng, snap["rng"])
 
 
 class TileBank:
@@ -404,6 +504,69 @@ class TileBank:
     def _require_programmed(self) -> None:
         if not self._programmed:
             raise RuntimeError("tile bank has not been programmed")
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def snapshot(self, *, include_state: bool = True) -> dict:
+        """Versioned capture of the bank's durable state.
+
+        ``include_state=True`` captures the stacked conductances, target
+        levels, per-tile counters, and every tile generator's state —
+        enough to :meth:`restore` the bank bit-identically with no
+        reprogramming (and no write-pulse billing).  ``include_state=
+        False`` captures only the counter vectors, for callers that
+        replay programming deterministically and then re-seat the
+        counters.
+        """
+        snap = {
+            "version": SNAPSHOT_VERSION,
+            "kind": "tile_bank",
+            "n_tiles": self.n_tiles,
+            "rows": self.rows,
+            "cols": self.cols,
+            "sigma": self.sigma,
+            "adc_bits": self.adc_bits,
+            "counters": {
+                "cells_programmed": self.cells_programmed.copy(),
+                "write_pulses": self.write_pulses.copy(),
+                "mvm_ops": self.mvm_ops.copy(),
+                "adc_conversions": self.adc_conversions.copy(),
+                "cell_reads": self.cell_reads.copy(),
+            },
+        }
+        if include_state:
+            snap["programmed"] = self._programmed
+            snap["target_levels"] = self._target_levels.copy()
+            snap["conductance"] = self._conductance.copy()
+            snap["rngs"] = [_rng_state(rng) for rng in self._rngs]
+        return snap
+
+    def restore(self, snap: dict) -> None:
+        """Apply a :meth:`snapshot`; geometry must match exactly.
+
+        Restoring bumps :attr:`version` so any cached merged matmul
+        operand is rebuilt from the restored conductances.
+        """
+        _check_snapshot_version(snap, "tile bank")
+        geometry = (snap["n_tiles"], snap["rows"], snap["cols"])
+        if geometry != (self.n_tiles, self.rows, self.cols):
+            raise ValueError(
+                f"snapshot geometry {geometry} does not match this "
+                f"{(self.n_tiles, self.rows, self.cols)} bank")
+        for name in ("cells_programmed", "write_pulses", "mvm_ops",
+                     "adc_conversions", "cell_reads"):
+            setattr(self, name, np.asarray(snap["counters"][name],
+                                           dtype=np.int64).copy())
+        if "conductance" in snap:
+            self._target_levels = np.asarray(snap["target_levels"],
+                                             dtype=np.int64).copy()
+            self._conductance = np.asarray(snap["conductance"],
+                                           dtype=np.float32).copy()
+            self._programmed = bool(snap["programmed"])
+            for rng, state in zip(self._rngs, snap["rngs"]):
+                _restore_rng_state(rng, state)
+        self.version += 1
 
 
 class TileView:

@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..cim.accelerator import CiMMatrix, MitigationHooks
-from ..nvm.crossbar import CrossbarStats
+from ..nvm.crossbar import CrossbarStats, _restore_rng_state, _rng_state
 from ..nvm.device_models import NVMDevice
 from ..utils import Registry, spawn_generators
 from .pooling import multi_scale_vectors
@@ -287,3 +287,102 @@ class CiMSearchEngine:
     def _require_built(self) -> None:
         if self._count == 0:
             raise RuntimeError("search engine is empty; call build() first")
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self, *, include_state: bool = True) -> dict:
+        """Versioned capture of the built store's durable state.
+
+        ``include_state=True`` holds the per-scale :class:`CiMMatrix`
+        snapshots (conductances, generator states) plus this engine's own
+        generator — everything :meth:`from_snapshot` needs to rebuild the
+        store bit-identically without reprogramming.  ``include_state=
+        False`` is the recipe form: per-scale counters only, applied with
+        :meth:`restore` after a deterministic re-build.
+        """
+        self._require_built()
+        snap = {
+            "version": self.SNAPSHOT_VERSION,
+            "count": self._count,
+            "row_counts": list(self._row_counts),
+            "on_cim": self.on_cim,
+            "vectorized": self.vectorized,
+            "sigma": self.sigma,
+            "norms": {str(scale): norms.copy()
+                      for scale, norms in self._norms.items()},
+        }
+        if self.on_cim:
+            snap["stores"] = {
+                str(scale): matrix.snapshot(include_state=include_state)
+                for scale, matrix in self._scale_matrices.items()}
+        elif include_state:
+            snap["digital"] = {str(scale): stacked.copy()
+                               for scale, stacked in
+                               self._digital_vectors.items()}
+        if include_state:
+            snap["rng"] = _rng_state(self._rng)
+        return snap
+
+    def restore_counters(self, snap: dict) -> None:
+        """Apply a :meth:`snapshot` onto this (already built) engine.
+
+        The recipe path: the engine was re-built deterministically, so
+        conductances already match; only the cumulative counters need
+        re-seating (a rebuild billed fresh programming pulses the
+        original session already paid for).  Not to be confused with
+        :meth:`restore`, which reads one stored OVT back from NVM.
+        """
+        self._check_snapshot(snap)
+        if snap["count"] != self._count:
+            raise ValueError(
+                f"snapshot holds {snap['count']} OVTs, store has "
+                f"{self._count}")
+        for scale, matrix in self._scale_matrices.items():
+            matrix.restore(snap["stores"][str(scale)])
+
+    def _check_snapshot(self, snap: dict) -> None:
+        if snap.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported CiMSearchEngine snapshot version "
+                f"{snap.get('version')!r}")
+        if bool(snap["on_cim"]) != self.on_cim:
+            raise ValueError("snapshot on_cim flag does not match engine")
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snap: dict,
+        device: NVMDevice,
+        *,
+        config: SearchConfig = SSA_CONFIG,
+        mitigation: MitigationHooks | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "CiMSearchEngine":
+        """Rebuild a store from a full :meth:`snapshot`, bit-identically.
+
+        No crossbar is programmed: every scale store comes back through
+        :meth:`CiMMatrix.from_snapshot`, counters and generator states
+        included.
+        """
+        self = cls(device, sigma=float(snap["sigma"]), config=config,
+                   mitigation=mitigation, on_cim=bool(snap["on_cim"]),
+                   vectorized=bool(snap["vectorized"]), rng=rng)
+        self._check_snapshot(snap)
+        self._count = int(snap["count"])
+        self._row_counts = [int(n) for n in snap["row_counts"]]
+        self._norms = {int(scale): np.asarray(norms, dtype=np.float32).copy()
+                       for scale, norms in snap["norms"].items()}
+        if self.on_cim:
+            self._scale_matrices = {
+                int(scale): CiMMatrix.from_snapshot(
+                    store, device, mitigation=self.mitigation)
+                for scale, store in snap["stores"].items()}
+        else:
+            self._digital_vectors = {
+                int(scale): np.asarray(stacked, dtype=np.float32).copy()
+                for scale, stacked in snap["digital"].items()}
+        _restore_rng_state(self._rng, snap["rng"])
+        return self

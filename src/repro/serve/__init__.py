@@ -15,6 +15,12 @@ base model.  This package is that story as an API:
   ``answer_batch`` (or ``begin_query`` + ``run_decode_round``) advances
   every user's answer one token per round through a single batched
   forward, token-identical to sequential serving.
+* :class:`SessionSnapshot` / :class:`SessionStore` — durable sessions: a
+  user's trained library, buffer and NVM state as a versioned binary
+  blob that LRU eviction spills and session lookups transparently
+  restore, byte-identically and without re-running a tuner step.
+* :class:`ShardedPromptEngine` — users hash-routed across N engines with
+  the same surface, so the gateway scales out unchanged.
 
 Quickstart::
 
@@ -35,9 +41,13 @@ from .api import (
 from .engine import PromptServeEngine, QueueFull
 from .metrics import LatencyHistogram
 from .session import UserSession
+from .sharded import ShardedPromptEngine
+from .snapshot import SessionSnapshot, SnapshotError
+from .store import SessionStore
 
 __all__ = [
     "PromptServeEngine", "QueueFull", "UserSession", "LatencyHistogram",
     "TuneRequest", "TuneResponse", "QueryRequest", "QueryResponse",
-    "PendingQuery",
+    "PendingQuery", "SessionSnapshot", "SnapshotError", "SessionStore",
+    "ShardedPromptEngine",
 ]

@@ -1,0 +1,191 @@
+"""Stdlib-only binary codec for session snapshots.
+
+A tiny tagged-value serialization used by :mod:`repro.serve.snapshot`:
+values are encoded as a one-byte tag followed by a fixed- or
+length-prefixed payload, recursing through lists and dicts.  The format
+is deliberately minimal — exactly the shapes a
+:class:`~repro.serve.snapshot.SessionSnapshot` needs — and *canonical*:
+dict keys are sorted, integers use their minimal two's-complement width,
+and arrays serialize their raw C-contiguous bytes, so encoding the same
+value always produces the same blob (the golden-fixture tests pin this).
+
+Supported values: ``None``, ``bool``, ``int`` (arbitrary precision, for
+PCG64 generator states), ``float``, ``str``, ``bytes``, ``list``/``tuple``
+(decoded as ``list``), ``dict`` with ``str`` keys, and numeric/bool
+``numpy.ndarray``.  ``pickle`` is deliberately not involved: decoding a
+snapshot never executes anything.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["encode_value", "decode_value", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Raised when a value cannot be encoded or a blob cannot be decoded."""
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+_TAG_ARRAY = b"a"
+
+_LEN = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+# Array dtypes a snapshot may carry.  Object/str arrays are rejected so a
+# decoded blob can never smuggle arbitrary Python objects.
+_ARRAY_KINDS = frozenset("biuf")
+
+
+def _encode_into(out: bytearray, value) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif isinstance(value, bool) or isinstance(value, np.bool_):
+        out += _TAG_TRUE if value else _TAG_FALSE
+    elif isinstance(value, (int, np.integer)):
+        value = int(value)
+        width = (value.bit_length() + 8) // 8 or 1
+        payload = value.to_bytes(width, "little", signed=True)
+        out += _TAG_INT
+        out += bytes([len(payload)])
+        out += payload
+    elif isinstance(value, (float, np.floating)):
+        out += _TAG_FLOAT
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out += _TAG_STR
+        out += _LEN.pack(len(payload))
+        out += payload
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        out += _LEN.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, np.ndarray):
+        if value.dtype.kind not in _ARRAY_KINDS:
+            raise CodecError(
+                f"cannot encode array of dtype {value.dtype} "
+                f"(only bool/int/uint/float arrays are snapshot-safe)")
+        # ascontiguousarray promotes 0-d to 1-d; reshape preserves rank.
+        data = np.ascontiguousarray(value).reshape(value.shape)
+        dtype = data.dtype.str.encode("ascii")
+        out += _TAG_ARRAY
+        out += bytes([len(dtype)])
+        out += dtype
+        out += bytes([data.ndim])
+        for dim in data.shape:
+            out += _LEN.pack(dim)
+        raw = data.tobytes()
+        out += _LEN.pack(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += _LEN.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            raise CodecError("dict keys must be strings")
+        out += _TAG_DICT
+        out += _LEN.pack(len(value))
+        for key in sorted(value):
+            _encode_into(out, key)
+            _encode_into(out, value[key])
+    else:
+        raise CodecError(
+            f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_value(value) -> bytes:
+    """Serialize ``value`` to its canonical binary form."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _take(blob: bytes, offset: int, count: int) -> tuple[bytes, int]:
+    end = offset + count
+    if end > len(blob):
+        raise CodecError("truncated snapshot blob")
+    return blob[offset:end], end
+
+
+def _decode_at(blob: bytes, offset: int) -> tuple[object, int]:
+    tag, offset = _take(blob, offset, 1)
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        width, offset = _take(blob, offset, 1)
+        payload, offset = _take(blob, offset, width[0])
+        return int.from_bytes(payload, "little", signed=True), offset
+    if tag == _TAG_FLOAT:
+        payload, offset = _take(blob, offset, 8)
+        return _F64.unpack(payload)[0], offset
+    if tag == _TAG_STR:
+        raw, offset = _take(blob, offset, 8)
+        payload, offset = _take(blob, offset, _LEN.unpack(raw)[0])
+        return payload.decode("utf-8"), offset
+    if tag == _TAG_BYTES:
+        raw, offset = _take(blob, offset, 8)
+        payload, offset = _take(blob, offset, _LEN.unpack(raw)[0])
+        return payload, offset
+    if tag == _TAG_ARRAY:
+        width, offset = _take(blob, offset, 1)
+        dtype_str, offset = _take(blob, offset, width[0])
+        dtype = np.dtype(dtype_str.decode("ascii"))
+        if dtype.kind not in _ARRAY_KINDS:
+            raise CodecError(f"refusing to decode array of dtype {dtype}")
+        ndim_raw, offset = _take(blob, offset, 1)
+        shape = []
+        for _ in range(ndim_raw[0]):
+            raw, offset = _take(blob, offset, 8)
+            shape.append(_LEN.unpack(raw)[0])
+        raw, offset = _take(blob, offset, 8)
+        payload, offset = _take(blob, offset, _LEN.unpack(raw)[0])
+        array = np.frombuffer(payload, dtype=dtype)
+        expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if array.size != expected:
+            raise CodecError("array payload does not match its shape")
+        return array.reshape(shape).copy(), offset
+    if tag == _TAG_LIST:
+        raw, offset = _take(blob, offset, 8)
+        items = []
+        for _ in range(_LEN.unpack(raw)[0]):
+            item, offset = _decode_at(blob, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        raw, offset = _take(blob, offset, 8)
+        result = {}
+        for _ in range(_LEN.unpack(raw)[0]):
+            key, offset = _decode_at(blob, offset)
+            if not isinstance(key, str):
+                raise CodecError("dict keys must decode to strings")
+            value, offset = _decode_at(blob, offset)
+            result[key] = value
+        return result, offset
+    raise CodecError(f"unknown tag {tag!r} at offset {offset - 1}")
+
+
+def decode_value(blob: bytes) -> object:
+    """Inverse of :func:`encode_value`; rejects trailing garbage."""
+    value, offset = _decode_at(blob, 0)
+    if offset != len(blob):
+        raise CodecError(
+            f"{len(blob) - offset} trailing bytes after the encoded value")
+    return value

@@ -74,6 +74,8 @@ from .api import (
 )
 from .metrics import LatencyHistogram
 from .session import UserSession
+from .snapshot import SessionSnapshot
+from .store import SessionStore
 
 __all__ = ["PromptServeEngine", "QueueFull"]
 
@@ -121,11 +123,17 @@ class PromptServeEngine:
     def __init__(self, model: TinyCausalLM, tokenizer: Tokenizer,
                  config: FrameworkConfig | None = None, *,
                  max_sessions: int = 8,
-                 max_pending: int | None = None):
+                 max_pending: int | None = None,
+                 session_store: SessionStore | None = None,
+                 snapshot_mode: str = "raw"):
         if max_sessions <= 0:
             raise ValueError("max_sessions must be positive")
         if max_pending is not None and max_pending <= 0:
             raise ValueError("max_pending must be positive (or None)")
+        if snapshot_mode not in ("raw", "recipe"):
+            raise ValueError(
+                f"snapshot_mode must be 'raw' or 'recipe', "
+                f"got {snapshot_mode!r}")
         # The base model is frozen shared state: pin it to eval mode once so
         # decoding never has to flip module flags other threads could see.
         model.eval()
@@ -137,13 +145,26 @@ class PromptServeEngine:
         # in-process default), an integer is the backpressure point the
         # gateway leans on.
         self.max_pending = max_pending
+        # Durable session storage: when present, LRU eviction spills each
+        # session's snapshot here and session lookups transparently
+        # restore spilled users instead of losing their trained state.
+        self.session_store = session_store
+        self.snapshot_mode = snapshot_mode
         self._sessions: OrderedDict[int, UserSession] = OrderedDict()
         self.evicted_sessions = 0
         self.requests_served = 0
         self.admitted = 0   # queries that entered the decoder
         self.rejected = 0   # begin_query calls bounced on max_pending
+        self.sessions_created = 0    # fresh sessions (paid full tuning)
+        self.sessions_spilled = 0    # snapshots written to the store
+        self.sessions_restored = 0   # sessions rebuilt from the store
         self._evicted_prefill_hits = 0   # keeps stats monotonic across LRU
         self._evicted_cim = CrossbarStats()  # same, for crossbar counters
+        # What was banked into the evicted baselines per spilled user, so a
+        # restore can un-bank it: the restored session re-reports exactly
+        # those counters itself, and leaving the banked copy in place
+        # would double-count every spill/restore cycle.
+        self._spill_baselines: dict[int, tuple[int, CrossbarStats]] = {}
         self._latency = LatencyHistogram()   # request wall latency
         # One re-entrant lock serializes every engine entry point: the
         # gateway drives admission (begin_query) and the decode loop
@@ -164,40 +185,94 @@ class PromptServeEngine:
                 config: FrameworkConfig | None = None) -> UserSession:
         """The user's session, created (evicting the LRU one) if absent.
 
-        ``config`` overrides the engine default for *new* sessions only;
-        an existing session keeps the config it was created with.
+        A spilled user is transparently restored from the session store
+        first — they come back with their trained library and NVM state
+        instead of paying full re-tuning.  ``config`` overrides the
+        engine default for *new* sessions only; existing and restored
+        sessions keep the config they were captured with.
         """
         with self._lock:
             if user_id in self._sessions:
                 self._sessions.move_to_end(user_id)
                 return self._sessions[user_id]
+            session = self._restore_session(user_id)
+            if session is not None:
+                return session
             session = UserSession(
                 user_id, self.model, self.tokenizer,
                 config if config is not None else self.config)
             self._sessions[user_id] = session
-            while len(self._sessions) > self.max_sessions:
-                # LRU eviction may land on a session with generations still
-                # in flight; those are self-contained (the decoder's
-                # sequences own their caches and telemetry snapshots) and
-                # finish normally, so eviction frees the NVM library
-                # without touching any batch slot.
-                _, evicted = self._sessions.popitem(last=False)
-                self._evicted_prefill_hits += evicted.prefill_hits
-                self._evicted_cim.add(evicted.cim_stats())
-                self.evicted_sessions += 1
+            self.sessions_created += 1
+            self._evict_over_capacity()
             return session
+
+    def _evict_over_capacity(self) -> None:
+        """Spill least-recently-used sessions down to ``max_sessions``."""
+        while len(self._sessions) > self.max_sessions:
+            # LRU eviction may land on a session with generations still
+            # in flight; those are self-contained (the decoder's
+            # sequences own their caches and telemetry snapshots) and
+            # finish normally, so eviction frees the NVM library
+            # without touching any batch slot.
+            _, evicted = self._sessions.popitem(last=False)
+            self._spill_session(evicted)
+            self.evicted_sessions += 1
+
+    def _spill_session(self, session: UserSession) -> None:
+        """Bank a leaving session's counters and snapshot it to the store.
+
+        The banked values are remembered per user so that a later restore
+        can un-bank them — the restored session reports the same counters
+        itself, and totals must not double-count.
+        """
+        hits = session.prefill_hits
+        cim = session.cim_stats()
+        self._evicted_prefill_hits += hits
+        self._evicted_cim.add(cim)
+        if self.session_store is None:
+            return
+        blob = SessionSnapshot.capture(
+            session, mode=self.snapshot_mode).to_bytes()
+        self.session_store.put(session.user_id, blob)
+        self._spill_baselines[session.user_id] = (hits, cim)
+        self.sessions_spilled += 1
+
+    def _restore_session(self, user_id: int) -> UserSession | None:
+        """Rebuild a spilled user from the store; None when unknown."""
+        if self.session_store is None:
+            return None
+        blob = self.session_store.get(user_id)
+        if blob is None:
+            return None
+        snapshot = SessionSnapshot.from_bytes(blob)
+        session = snapshot.build_session(self.model, self.tokenizer)
+        baseline = self._spill_baselines.pop(user_id, None)
+        if baseline is not None:
+            # This engine banked these counters when it spilled the user;
+            # the restored session re-reports them, so un-bank.  A blob
+            # written by another engine has no baseline here and the
+            # restored counters are simply new to this engine's totals.
+            hits, cim = baseline
+            self._evicted_prefill_hits -= hits
+            self._evicted_cim.subtract(cim)
+        self._sessions[user_id] = session
+        self.sessions_restored += 1
+        self._evict_over_capacity()
+        return session
 
     def _resident_session(self, user_id: int) -> UserSession:
         """The user's existing session; never creates one.
 
-        The inference path uses this so a stray query for an unknown (or
-        already-evicted) user fails cleanly instead of inserting an empty
-        session and LRU-evicting a resident user's trained library.
+        Spilled users transparently restore from the session store; only
+        a user the engine has never seen fails.  That keeps the inference
+        path from inserting an empty session and LRU-evicting a resident
+        user's trained library on a stray request.
         """
         if user_id not in self._sessions:
-            raise KeyError(
-                f"no session for user {user_id!r}; submit training data "
-                f"(or load_session a library) first")
+            if self._restore_session(user_id) is None:
+                raise KeyError(
+                    f"no session for user {user_id!r}; submit training "
+                    f"data (or load_session a library) first")
         return self.session(user_id)   # touches LRU recency
 
     def load_session(self, user_id: int, library: OVTLibrary, *,
@@ -215,24 +290,34 @@ class PromptServeEngine:
         return list(self._sessions)
 
     def drop_session(self, user_id: int, *,
-                     cancel_pending: bool = False) -> bool:
+                     cancel_pending: bool = False,
+                     spill: bool = True) -> bool:
         """Explicitly evict one user; True if they were resident.
 
-        A dropped user's pending generations are self-contained (their
-        decode state lives in the scheduler's sequences, not the session),
-        so by default they run to completion and their responses stay
-        token-identical to sequential serving.  With
-        ``cancel_pending=True`` they are instead retired immediately: each
-        handle completes with the tokens generated so far and is marked
-        ``cancelled``.  Either way, other users' batch slots are
-        untouched.
+        With a session store attached the dropped session is spilled like
+        an LRU eviction (``spill=False`` skips the snapshot — e.g. when
+        the user asked to be forgotten; their stored blob, if any, is
+        deleted instead).  A dropped user's pending generations are
+        self-contained (their decode state lives in the scheduler's
+        sequences, not the session), so by default they run to completion
+        and their responses stay token-identical to sequential serving.
+        With ``cancel_pending=True`` they are instead retired
+        immediately: each handle completes with the tokens generated so
+        far and is marked ``cancelled``.  Either way, other users' batch
+        slots are untouched.
         """
         with self._lock:
             session = self._sessions.pop(user_id, None)
             if session is None:
                 return False
-            self._evicted_prefill_hits += session.prefill_hits
-            self._evicted_cim.add(session.cim_stats())
+            if spill:
+                self._spill_session(session)
+            else:
+                self._evicted_prefill_hits += session.prefill_hits
+                self._evicted_cim.add(session.cim_stats())
+                if self.session_store is not None:
+                    self.session_store.delete(user_id)
+                    self._spill_baselines.pop(user_id, None)
             if cancel_pending:
                 for pending in [p for p in self._pending
                                 if p._session is session]:
@@ -279,6 +364,12 @@ class PromptServeEngine:
                 "active_sessions": len(self._sessions),
                 "max_sessions": self.max_sessions,
                 "evicted_sessions": self.evicted_sessions,
+                "sessions_created": self.sessions_created,
+                "sessions_spilled": self.sessions_spilled,
+                "sessions_restored": self.sessions_restored,
+                "session_store": (self.session_store.stats()
+                                  if self.session_store is not None
+                                  else None),
                 "requests_served": self.requests_served,
                 "stored_ovts": sum(len(s.library)
                                    for s in self._sessions.values()),

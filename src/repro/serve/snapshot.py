@@ -1,0 +1,261 @@
+"""Durable per-user session state: capture, serialize, restore.
+
+A :class:`SessionSnapshot` is everything a
+:class:`~repro.serve.session.UserSession` owns that cannot be recomputed
+for free: the trained OVT library (token matrices plus the user's
+autoencoder weights), the observed-sample buffer, cumulative serving
+counters, and — optionally — the NVM deployment state.  Captured
+snapshots serialize to a stdlib-only tagged binary format
+(:mod:`repro.serve.codec`) with a magic header and schema version, so a
+session can leave memory (LRU eviction, process restart, another worker)
+and come back answering byte-identically, without re-running one tuner
+step.
+
+Two capture modes trade size against restore cost:
+
+* ``mode="raw"`` — the deployment's crossbar conductances, cumulative
+  counters and generator states travel in full.  Restore rebuilds the
+  NVM state bit-identically with **zero** programming pulses.
+* ``mode="recipe"`` — only cumulative counters travel.  Restore re-runs
+  deployment programming, which is deterministic (the deployment's
+  generator derives purely from the config), then re-seats the counters
+  so the rebuild is not double-billed.  Same conductances, smaller blob,
+  one reprogramming's latency.
+
+The prefill KV cache is deliberately *not* serialized: prefill is
+deterministic, so a restored session recomputes any state it needs and
+still produces byte-identical greedy answers — only the ``prefill_hits``
+telemetry starts cold.  The snapshot records the cache keys as metadata
+so stores can report what was dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.framework import FrameworkConfig, NVCiMDeployment, OVTLibrary
+from ..data.lamp import Sample
+from ..llm.tokenizer import Tokenizer
+from ..llm.transformer import TinyCausalLM
+from ..nvm.crossbar import CrossbarStats
+from ..tuning import VirtualTokens
+from .codec import CodecError, decode_value, encode_value
+from .session import UserSession
+
+__all__ = ["SessionSnapshot", "SnapshotError", "SCHEMA_VERSION", "MAGIC"]
+
+# Bumped whenever the payload layout changes incompatibly; from_bytes
+# refuses blobs from other versions (the golden-fixture test pins this).
+SCHEMA_VERSION = 1
+
+MAGIC = b"NVPTSNAP"
+
+_HEADER = struct.Struct("<H")
+
+
+class SnapshotError(ValueError):
+    """Raised for malformed, foreign, or incompatible snapshot blobs."""
+
+
+def _sample_dict(sample: Sample) -> dict:
+    return dataclasses.asdict(sample)
+
+
+def _sample_from(data: dict) -> Sample:
+    return Sample(task=data["task"], user_id=int(data["user_id"]),
+                  input_text=data["input_text"],
+                  target_text=data["target_text"], domain=data["domain"])
+
+
+@dataclass
+class SessionSnapshot:
+    """A :class:`UserSession` as a value: capture, encode, rebuild."""
+
+    user_id: int
+    mode: str
+    config: dict
+    model_fingerprint: dict
+    library: dict
+    buffer: list
+    counters: dict
+    prefill_keys: list
+    deployment: dict | None
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, session: UserSession, *,
+                mode: str = "raw") -> "SessionSnapshot":
+        """Snapshot a live session (which keeps running, unaffected)."""
+        if mode not in ("raw", "recipe"):
+            raise ValueError(f"mode must be 'raw' or 'recipe', got {mode!r}")
+        model = session.model
+        library = session.library
+        ae = library.autoencoder
+        deployment = None
+        if session.is_deployed:
+            deployment = session._deployment.snapshot(
+                include_state=(mode == "raw"))
+        return cls(
+            user_id=session.user_id,
+            mode=mode,
+            config=session.config.to_dict(),
+            model_fingerprint={
+                "d_model": model.config.d_model,
+                "vocab_size": model.config.vocab_size,
+                "n_layers": model.config.n_layers,
+            },
+            library={
+                "ovts": [{"matrix": ovt.matrix.copy(),
+                          "domain": ovt.domain,
+                          "source": (_sample_dict(ovt.source)
+                                     if ovt.source is not None else None)}
+                         for ovt in library.ovts],
+                "autoencoder_state": ae.state_dict(),
+                "autoencoder_trained": ae.is_trained,
+                "noise_aware": library.noise_aware,
+            },
+            buffer=[_sample_dict(s) for s in session.pipeline.buffer.samples],
+            counters={
+                "epochs_completed": session.epochs_completed,
+                "pipeline_epochs": session.pipeline._epochs_completed,
+                "queries_served": session.queries_served,
+                "prefill_hits": session.prefill_hits,
+                "retired_cim": session._retired_cim.to_dict(),
+            },
+            prefill_keys=[[text, index]
+                          for text, index in session._prefill_states],
+            deployment=deployment,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned binary form (magic + schema + body)."""
+        payload = {
+            "user_id": self.user_id,
+            "mode": self.mode,
+            "config": self.config,
+            "model_fingerprint": self.model_fingerprint,
+            "library": self.library,
+            "buffer": self.buffer,
+            "counters": self.counters,
+            "prefill_keys": self.prefill_keys,
+            "deployment": self.deployment,
+        }
+        return MAGIC + _HEADER.pack(SCHEMA_VERSION) + encode_value(payload)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "SessionSnapshot":
+        """Parse a serialized snapshot; refuses foreign or future blobs."""
+        if len(blob) < len(MAGIC) + _HEADER.size:
+            raise SnapshotError("blob too short to be a session snapshot")
+        if blob[:len(MAGIC)] != MAGIC:
+            raise SnapshotError("not a session snapshot (bad magic)")
+        (version,) = _HEADER.unpack_from(blob, len(MAGIC))
+        if version != SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot schema version {version} is not supported "
+                f"(this build reads version {SCHEMA_VERSION})")
+        try:
+            payload = decode_value(blob[len(MAGIC) + _HEADER.size:])
+        except CodecError as error:
+            raise SnapshotError(f"corrupt snapshot body: {error}") from error
+        if not isinstance(payload, dict):
+            raise SnapshotError("snapshot body is not a mapping")
+        try:
+            return cls(
+                user_id=int(payload["user_id"]),
+                mode=payload["mode"],
+                config=payload["config"],
+                model_fingerprint=payload["model_fingerprint"],
+                library=payload["library"],
+                buffer=payload["buffer"],
+                counters=payload["counters"],
+                prefill_keys=payload["prefill_keys"],
+                deployment=payload["deployment"],
+            )
+        except KeyError as error:
+            raise SnapshotError(
+                f"snapshot body is missing field {error}") from error
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def build_session(self, model: TinyCausalLM,
+                      tokenizer: Tokenizer) -> UserSession:
+        """Rebuild the captured session against the shared base model.
+
+        Raw snapshots restore the NVM deployment bit-identically with no
+        programming; recipe snapshots replay the (deterministic)
+        programming and then re-seat the cumulative counters.  Either
+        way the rebuilt session's greedy answers are byte-identical to
+        the original's, with no tuner step re-run.
+        """
+        fingerprint = self.model_fingerprint
+        actual = {"d_model": model.config.d_model,
+                  "vocab_size": model.config.vocab_size,
+                  "n_layers": model.config.n_layers}
+        if actual != fingerprint:
+            raise SnapshotError(
+                f"snapshot was captured against a model with "
+                f"{fingerprint}, got {actual}")
+        config = FrameworkConfig.from_dict(self.config)
+        session = UserSession(self.user_id, model, tokenizer, config)
+
+        # Library: token matrices verbatim, autoencoder weights re-seated
+        # into the pipeline's (architecture-identical) fresh instance.
+        library = session.library
+        library.ovts.extend(
+            VirtualTokens(
+                np.asarray(entry["matrix"], dtype=np.float32).copy(),
+                source=(_sample_from(entry["source"])
+                        if entry["source"] is not None else None),
+                domain=entry["domain"])
+            for entry in self.library["ovts"])
+        library.autoencoder.load_state_dict(
+            self.library["autoencoder_state"])
+        library.autoencoder._trained = bool(
+            self.library["autoencoder_trained"])
+        library.noise_aware = bool(self.library["noise_aware"])
+
+        # Buffer: samples travel; embeddings are recomputed (embedding a
+        # text through the frozen model is deterministic).
+        for data in self.buffer:
+            sample = _sample_from(data)
+            ids = tokenizer.encode(sample.input_text)
+            session.pipeline.buffer.add(sample,
+                                        model.embed_text_vector(ids))
+
+        counters = self.counters
+        session.epochs_completed = int(counters["epochs_completed"])
+        session.pipeline._epochs_completed = int(
+            counters["pipeline_epochs"])
+        session.queries_served = int(counters["queries_served"])
+        session.prefill_hits = int(counters["prefill_hits"])
+        session._retired_cim = CrossbarStats.from_dict(
+            counters["retired_cim"])
+
+        if self.deployment is not None:
+            session._deployment = self._build_deployment(
+                model, tokenizer, library, config)
+        return session
+
+    def _build_deployment(self, model: TinyCausalLM, tokenizer: Tokenizer,
+                          library: OVTLibrary,
+                          config: FrameworkConfig) -> NVCiMDeployment:
+        if self.mode == "raw":
+            return NVCiMDeployment.from_snapshot(
+                model, tokenizer, library, config, self.deployment)
+        # Recipe: re-program deterministically, then re-seat the counters
+        # the original session had already accumulated (the rebuild's own
+        # fresh programming pulses are folded away, not double-billed).
+        deployment = NVCiMDeployment(model, tokenizer, library, config)
+        deployment.restore_counters(self.deployment)
+        return deployment

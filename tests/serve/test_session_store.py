@@ -1,0 +1,258 @@
+"""SessionStore backends and the engine's spill/restore integration."""
+
+import pytest
+
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import (
+    PromptServeEngine,
+    QueryRequest,
+    SessionStore,
+    TuneRequest,
+)
+
+CIM_KEYS = ("cim_mvm_ops", "cim_adc_conversions", "cim_cell_reads",
+            "cim_write_pulses")
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "disk":
+        return SessionStore(tmp_path / "spool")
+    return SessionStore()
+
+
+class TestSessionStoreBackends:
+    def test_put_get_roundtrip(self, store):
+        store.put(7, b"blob-7")
+        assert store.get(7) == b"blob-7"
+        assert 7 in store
+        assert store.get(8) is None
+        assert 8 not in store
+
+    def test_overwrite_replaces(self, store):
+        store.put(1, b"old")
+        store.put(1, b"new")
+        assert store.get(1) == b"new"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(1, b"x")
+        assert store.delete(1)
+        assert not store.delete(1)
+        assert store.get(1) is None
+
+    def test_user_ids_sorted(self, store):
+        for user_id in (5, 1, 9):
+            store.put(user_id, b"x")
+        assert store.user_ids() == [1, 5, 9]
+        store.clear()
+        assert store.user_ids() == []
+        assert len(store) == 0
+
+    def test_stats(self, store):
+        store.put(1, b"abc")
+        store.put(2, b"defgh")
+        stats = store.stats()
+        assert stats["sessions"] == 2
+        assert stats["bytes"] == 8
+        assert stats["backend"] == store.backend
+
+
+class TestDiskBackend:
+    def test_one_file_per_user_no_temp_residue(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.put(3, b"payload")
+        assert (tmp_path / "session_3.nvpt").read_bytes() == b"payload"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_reopened_directory_keeps_blobs(self, tmp_path):
+        SessionStore(tmp_path).put(4, b"durable")
+        assert SessionStore(tmp_path).get(4) == b"durable"
+
+    def test_foreign_files_are_ignored(self, tmp_path):
+        (tmp_path / "session_notanid.nvpt").write_bytes(b"?")
+        (tmp_path / "README").write_bytes(b"?")
+        store = SessionStore(tmp_path)
+        store.put(2, b"x")
+        assert store.user_ids() == [2]
+
+
+# ----------------------------------------------------------------------
+# Engine integration: eviction spills, lookups restore.
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def make_engine(model, tok, *, max_sessions=2, session_store=None,
+                snapshot_mode="raw"):
+    return PromptServeEngine(model, tok, FrameworkConfig.preset("fast"),
+                             max_sessions=max_sessions,
+                             session_store=session_store,
+                             snapshot_mode=snapshot_mode)
+
+
+def train(engine, user_id, count=10):
+    engine.submit(TuneRequest(user_id=user_id,
+                              samples=tuple(stream_for(user_id, count,
+                                                       seed=user_id))))
+
+
+def greedy(tok, n=4):
+    return GenerationConfig(max_new_tokens=n, temperature=0.0,
+                            eos_id=tok.eos_id)
+
+
+class TestEngineSpillRestore:
+    def test_eviction_spills_to_store(self, setup):
+        model, tok = setup
+        store = SessionStore()
+        engine = make_engine(model, tok, session_store=store)
+        for user_id in (0, 1, 2):
+            train(engine, user_id)
+        assert len(engine.active_users()) == 2
+        assert 0 in store                      # LRU victim was spilled
+        stats = engine.stats()
+        assert stats["sessions_spilled"] == 1
+        assert stats["evicted_sessions"] == 1
+        assert stats["session_store"]["sessions"] == 1
+
+    @pytest.mark.parametrize("snapshot_mode", ["raw", "recipe"])
+    def test_restored_session_answers_byte_identically(self, setup,
+                                                       snapshot_mode):
+        """The acceptance criterion: evict to disk, restore, same bytes."""
+        model, tok = setup
+        generation = greedy(tok)
+        query = stream_for(0, 12)[11].input_text
+
+        reference = make_engine(model, tok, max_sessions=8)
+        for user_id in (0, 1, 2):
+            train(reference, user_id)
+        expected = reference.query(QueryRequest(user_id=0, text=query,
+                                                generation=generation))
+
+        engine = make_engine(model, tok, session_store=SessionStore(),
+                             snapshot_mode=snapshot_mode)
+        for user_id in (0, 1, 2):
+            train(engine, user_id)          # user 0 spills to the store
+        assert not engine.has_session(0)
+        response = engine.query(QueryRequest(user_id=0, text=query,
+                                             generation=generation))
+        assert response.answer == expected.answer
+        assert response.ovt_index == expected.ovt_index
+        stats = engine.stats()
+        assert stats["sessions_restored"] == 1
+        # Restoring re-ran zero tuner epochs: only the original three
+        # trainings ever created a session from scratch.
+        assert stats["sessions_created"] == 3
+        assert engine.session(0).epochs_completed == \
+            reference.session(0).epochs_completed
+
+    def test_disk_backed_engine_round_trip(self, setup, tmp_path):
+        model, tok = setup
+        store = SessionStore(tmp_path / "spool")
+        engine = make_engine(model, tok, session_store=store)
+        for user_id in (0, 1, 2):
+            train(engine, user_id)
+        assert (tmp_path / "spool" / "session_0.nvpt").exists()
+        answer = engine.answer(0, stream_for(0, 12)[11].input_text,
+                               greedy(tok))
+        assert isinstance(answer, str) and answer
+
+    def test_another_engine_adopts_spilled_session(self, setup):
+        """Blobs are engine-independent: a new worker restores them."""
+        model, tok = setup
+        store = SessionStore()
+        first = make_engine(model, tok, session_store=store)
+        train(first, 0)
+        first.drop_session(0)                      # spill=True default
+        assert 0 in store
+
+        second = make_engine(model, tok, session_store=store)
+        query = stream_for(0, 12)[11].input_text
+        assert second.answer(0, query, greedy(tok)) == \
+            first.answer(0, query, greedy(tok))
+        assert second.stats()["sessions_restored"] == 1
+        assert second.stats()["sessions_created"] == 0
+
+    def test_drop_without_spill_deletes_blob(self, setup):
+        model, tok = setup
+        store = SessionStore()
+        engine = make_engine(model, tok, session_store=store)
+        train(engine, 0)
+        engine.drop_session(0)
+        assert 0 in store
+        engine.session(0)                          # restore it
+        engine.drop_session(0, spill=False)
+        assert 0 not in store
+
+    def test_rejects_unknown_snapshot_mode(self, setup):
+        model, tok = setup
+        with pytest.raises(ValueError, match="snapshot_mode"):
+            make_engine(model, tok, snapshot_mode="zip")
+
+
+class TestCounterMonotonicity:
+    """Cumulative counters never decrease and never double-count across
+    the evict -> restore cycle (regression for the spill-baseline
+    accounting alongside the eviction banking of PR 5)."""
+
+    def test_totals_unchanged_by_evict_then_restore(self, setup):
+        model, tok = setup
+        engine = make_engine(model, tok, max_sessions=1,
+                             session_store=SessionStore())
+        train(engine, 0)
+        train(engine, 1)                     # evicts + spills user 0
+        before = engine.stats()
+        engine.session(0)                    # restores 0, spills 1
+        after = engine.stats()
+        # Nothing was served in between: restoring must neither lose nor
+        # double-count one op.  Exact equality, not just monotonicity.
+        for key in CIM_KEYS + ("prefill_hits",):
+            assert after[key] == before[key], key
+
+    def test_counters_monotonic_across_churn(self, setup):
+        model, tok = setup
+        engine = make_engine(model, tok, max_sessions=1,
+                             session_store=SessionStore())
+        generation = greedy(tok, 2)
+        previous = None
+        for user_id in (0, 1, 0, 1, 0):
+            if not engine.has_session(user_id) and \
+                    engine.session_store.get(user_id) is None:
+                train(engine, user_id)
+            engine.answer(user_id, stream_for(user_id, 12)[11].input_text,
+                          generation)
+            current = engine.stats()
+            if previous is not None:
+                for key in CIM_KEYS + ("prefill_hits", "requests_served"):
+                    assert current[key] >= previous[key], key
+            previous = current
+        assert engine.stats()["sessions_restored"] >= 2
+
+    def test_spill_without_store_still_banks(self, setup):
+        """No store configured: eviction loses the session but not its
+        contribution to the engine totals (the PR 5 behavior)."""
+        model, tok = setup
+        engine = make_engine(model, tok, max_sessions=1)
+        train(engine, 0)
+        before = engine.stats()
+        train(engine, 1)                     # evicts 0 with nowhere to go
+        after = engine.stats()
+        for key in CIM_KEYS:
+            assert after[key] >= before[key], key
+        assert after["sessions_spilled"] == 0
+        assert after["session_store"] is None

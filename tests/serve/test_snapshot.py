@@ -1,0 +1,290 @@
+"""Session snapshots: codec, capture/restore, and the golden fixture.
+
+Run this module directly to regenerate the golden fixture after an
+intentional schema bump::
+
+    PYTHONPATH=src python tests/serve/test_snapshot.py
+"""
+
+import pathlib
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression import OVTAutoencoder
+from repro.core import FrameworkConfig, OVTTrainingPipeline
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.serve import (
+    PromptServeEngine,
+    QueryRequest,
+    SessionSnapshot,
+    SnapshotError,
+    TuneRequest,
+)
+from repro.serve.codec import CodecError, decode_value, encode_value
+from repro.serve.snapshot import MAGIC, SCHEMA_VERSION
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_session_v1.nvpt"
+GOLDEN_USER = 7
+
+
+def build_stack():
+    """The deterministic model every snapshot in this module targets."""
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+def stream_for(user_id, count, seed=0):
+    ds = make_dataset("LaMP-2")
+    return ds.generate(make_user(user_id, seed=0), count, seed=seed)
+
+
+def golden_engine(model, tok):
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"))
+    engine.submit(TuneRequest(user_id=GOLDEN_USER,
+                              samples=tuple(stream_for(GOLDEN_USER, 10))))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_stack()
+
+
+@pytest.fixture(scope="module")
+def trained_session(setup):
+    """User 0's session, trained and warmed with one served query."""
+    model, tok = setup
+    engine = PromptServeEngine(model, tok, FrameworkConfig.preset("fast"))
+    engine.submit(TuneRequest(user_id=0,
+                              samples=tuple(stream_for(0, 10))))
+    generation = GenerationConfig(max_new_tokens=4, temperature=0.0,
+                                  eos_id=tok.eos_id)
+    query = stream_for(0, 12)[11].input_text
+    answer = engine.query(QueryRequest(user_id=0, text=query,
+                                       generation=generation)).answer
+    return engine.session(0), query, generation, answer
+
+
+class TestCodec:
+    def test_scalar_roundtrip(self):
+        values = [None, True, False, 0, -1, 7, 1.5, -0.0, "héllo", b"\x00raw",
+                  [1, [2, "x"], None], {"a": 1, "b": [True]}]
+        for value in values:
+            assert decode_value(encode_value(value)) == value
+
+    def test_bool_is_not_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert encode_value(True) != encode_value(1)
+
+    def test_tuples_decode_as_lists(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_big_ints_roundtrip(self):
+        # PCG64 generator states are 128-bit integers.
+        for value in (1 << 127, -(1 << 200), (1 << 128) - 1):
+            assert decode_value(encode_value(value)) == value
+
+    def test_array_roundtrip_preserves_dtype_and_shape(self):
+        arrays = [np.arange(6, dtype=np.int64).reshape(2, 3),
+                  np.float32([[1.5, -2.5]]),
+                  np.array([], dtype=np.float64),
+                  np.array(True),
+                  np.zeros((2, 0, 3), dtype=np.uint8)]
+        for array in arrays:
+            out = decode_value(encode_value(array))
+            assert out.dtype == array.dtype
+            assert out.shape == array.shape
+            assert np.array_equal(out, array)
+
+    def test_non_contiguous_array_roundtrip(self):
+        array = np.arange(12, dtype=np.float32).reshape(3, 4).T
+        out = decode_value(encode_value(array))
+        assert np.array_equal(out, array)
+
+    def test_canonical_dict_key_order(self):
+        assert encode_value({"b": 1, "a": 2}) == encode_value({"a": 2, "b": 1})
+
+    def test_rejects_object_arrays(self):
+        with pytest.raises(CodecError, match="dtype"):
+            encode_value(np.array([object()]))
+        with pytest.raises(CodecError, match="dtype"):
+            encode_value(np.array(["strings"]))
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(CodecError, match="type"):
+            encode_value({1, 2})
+        with pytest.raises(CodecError, match="keys"):
+            encode_value({1: "non-str key"})
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_value(encode_value(1) + b"x")
+
+    def test_rejects_truncation_and_unknown_tags(self):
+        blob = encode_value({"k": [1, 2.5]})
+        with pytest.raises(CodecError):
+            decode_value(blob[:-1])
+        with pytest.raises(CodecError, match="tag"):
+            decode_value(b"Z")
+
+
+class TestSessionRoundTrip:
+    @pytest.mark.parametrize("mode", ["raw", "recipe"])
+    def test_restored_session_answers_byte_identically(
+            self, setup, trained_session, mode, monkeypatch):
+        model, tok = setup
+        session, query, generation, answer = trained_session
+        blob = SessionSnapshot.capture(session, mode=mode).to_bytes()
+
+        # Restoring must never re-run a tuner step: trip on any attempt.
+        def boom(*args, **kwargs):
+            raise AssertionError("tuner ran during restore")
+        monkeypatch.setattr(OVTTrainingPipeline, "_run_epoch", boom)
+        monkeypatch.setattr(OVTAutoencoder, "fit", boom)
+        monkeypatch.setattr(OVTAutoencoder, "update", boom)
+
+        restored = SessionSnapshot.from_bytes(blob).build_session(model, tok)
+        assert restored.answer(query, generation) == answer
+        assert restored.queries_served == session.queries_served + 1
+        assert restored.epochs_completed == session.epochs_completed
+        assert len(restored.library) == len(session.library)
+        for mine, theirs in zip(restored.library.ovts, session.library.ovts):
+            assert np.array_equal(mine.matrix, theirs.matrix)
+
+    def test_raw_restore_reprograms_nothing(self, setup, trained_session):
+        model, tok = setup
+        session, query, generation, _ = trained_session
+        snap = SessionSnapshot.capture(session, mode="raw")
+        restored = snap.build_session(model, tok)
+        # Counters land exactly where the original's were — including the
+        # write pulses the original spent — with no fresh programming, and
+        # the whole deployment (conductances, counters, generator states)
+        # is bit-identical: re-snapshotting yields the same bytes.
+        assert restored.cim_stats() == session.cim_stats()
+        assert encode_value(restored._deployment.snapshot()) == \
+            encode_value(session._deployment.snapshot())
+
+    def test_recipe_restore_rebuilds_identical_conductances(
+            self, setup, trained_session):
+        model, tok = setup
+        session, *_ = trained_session
+        snap = SessionSnapshot.capture(session, mode="recipe")
+        # Recipe form carries counters only: no conductances, no rng.
+        assert "rng" not in snap.deployment["engine"]
+        for store in snap.deployment["engine"]["stores"].values():
+            assert "ints" not in store
+        restored = snap.build_session(model, tok)
+        restored.deployment()  # recipe defers nothing further here
+        assert restored.cim_stats() == session.cim_stats()
+
+    def test_raw_blob_is_larger_than_recipe(self, trained_session):
+        session, *_ = trained_session
+        raw = SessionSnapshot.capture(session, mode="raw").to_bytes()
+        recipe = SessionSnapshot.capture(session, mode="recipe").to_bytes()
+        assert len(raw) > len(recipe)
+
+    def test_buffer_and_prefill_metadata_travel(self, setup,
+                                                trained_session):
+        model, tok = setup
+        session, query, _, _ = trained_session
+        snap = SessionSnapshot.capture(session)
+        assert [key[0] for key in snap.prefill_keys].count(query) == 1
+        restored = snap.build_session(model, tok)
+        original = session.pipeline.buffer.samples
+        rebuilt = restored.pipeline.buffer.samples
+        assert list(rebuilt) == list(original)
+        # The KV cache itself stays behind; only its keys are metadata.
+        assert len(restored._prefill_states) == 0
+
+
+class TestSnapshotValidation:
+    def test_rejects_bad_magic(self):
+        with pytest.raises(SnapshotError, match="magic"):
+            SessionSnapshot.from_bytes(b"NOTASNAP" + b"\x00" * 16)
+
+    def test_rejects_short_blob(self):
+        with pytest.raises(SnapshotError, match="short"):
+            SessionSnapshot.from_bytes(MAGIC)
+
+    def test_rejects_future_schema_version(self, trained_session):
+        session, *_ = trained_session
+        blob = SessionSnapshot.capture(session, mode="recipe").to_bytes()
+        future = MAGIC + struct.pack("<H", SCHEMA_VERSION + 1) \
+            + blob[len(MAGIC) + 2:]
+        with pytest.raises(SnapshotError, match="version"):
+            SessionSnapshot.from_bytes(future)
+
+    def test_rejects_corrupt_body(self, trained_session):
+        session, *_ = trained_session
+        blob = SessionSnapshot.capture(session, mode="recipe").to_bytes()
+        with pytest.raises(SnapshotError, match="corrupt"):
+            SessionSnapshot.from_bytes(blob[:-3])
+
+    def test_rejects_model_fingerprint_mismatch(self, setup,
+                                                trained_session):
+        model, tok = setup
+        session, *_ = trained_session
+        snap = SessionSnapshot.capture(session, mode="recipe")
+        snap.model_fingerprint = dict(snap.model_fingerprint,
+                                      d_model=9999)
+        with pytest.raises(SnapshotError, match="captured against"):
+            snap.build_session(model, tok)
+
+    def test_capture_rejects_unknown_mode(self, trained_session):
+        session, *_ = trained_session
+        with pytest.raises(ValueError, match="mode"):
+            SessionSnapshot.capture(session, mode="zip")
+
+
+class TestGoldenFixture:
+    """Pin the on-disk format: schema v1 blobs must stay readable.
+
+    If these fail after an *intentional* format change, bump
+    ``SCHEMA_VERSION`` and regenerate via ``python tests/serve/test_snapshot.py``.
+    """
+
+    def test_golden_decodes_and_restores(self, setup):
+        model, tok = setup
+        blob = GOLDEN_PATH.read_bytes()
+        snap = SessionSnapshot.from_bytes(blob)
+        assert snap.user_id == GOLDEN_USER
+        assert snap.mode == "recipe"
+        assert snap.library["ovts"]
+        restored = snap.build_session(model, tok)
+        engine = golden_engine(model, tok)
+        generation = GenerationConfig(max_new_tokens=4, temperature=0.0,
+                                      eos_id=tok.eos_id)
+        query = stream_for(GOLDEN_USER, 10)[9].input_text
+        assert restored.answer(query, generation) == \
+            engine.session(GOLDEN_USER).answer(query, generation)
+
+    def test_golden_reencodes_byte_identically(self):
+        blob = GOLDEN_PATH.read_bytes()
+        assert SessionSnapshot.from_bytes(blob).to_bytes() == blob
+
+    def test_golden_header_pins_schema_v1(self):
+        blob = GOLDEN_PATH.read_bytes()
+        assert blob[:len(MAGIC)] == MAGIC
+        assert struct.unpack_from("<H", blob, len(MAGIC))[0] == 1
+
+
+def regenerate_golden():
+    model, tok = build_stack()
+    engine = golden_engine(model, tok)
+    blob = SessionSnapshot.capture(engine.session(GOLDEN_USER),
+                                   mode="recipe").to_bytes()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_bytes(blob)
+    print(f"wrote {GOLDEN_PATH} ({len(blob)} bytes, "
+          f"schema v{SCHEMA_VERSION})")
+
+
+if __name__ == "__main__":
+    regenerate_golden()

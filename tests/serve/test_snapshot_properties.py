@@ -1,0 +1,158 @@
+"""Property tests: snapshot round-trips across the configuration space.
+
+Hypothesis drives device model x sigma x adc_bits x layout through the
+NVM-layer codecs; plain parametrization covers the session round-trip
+across tuner types (training is too slow per example for hypothesis).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cim import CiMMatrix
+from repro.core import FrameworkConfig
+from repro.data import build_corpus, build_tokenizer, make_dataset, make_user
+from repro.llm import GenerationConfig, PretrainConfig, build_model, pretrain_lm
+from repro.nvm import available_devices, get_device
+from repro.retrieval import SSA_CONFIG, CiMSearchEngine
+from repro.serve import (
+    PromptServeEngine,
+    QueryRequest,
+    SessionSnapshot,
+    TuneRequest,
+)
+from repro.serve.codec import decode_value, encode_value
+
+hypothesis = pytest.importorskip("hypothesis")
+st = pytest.importorskip("hypothesis.strategies")
+given, settings = hypothesis.given, hypothesis.settings
+
+DEVICES = st.sampled_from(available_devices())
+SIGMAS = st.sampled_from([0.0, 0.05, 0.1, 0.2, 0.3])
+ADC_BITS = st.integers(min_value=4, max_value=10)
+
+
+def codec_roundtrip(snap):
+    return decode_value(encode_value(snap))
+
+
+class TestCiMMatrixProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(device_name=DEVICES, sigma=SIGMAS, adc_bits=ADC_BITS,
+           vectorized=st.booleans(), seed=st.integers(0, 2**32 - 1))
+    def test_snapshot_roundtrip_is_bit_identical(self, device_name, sigma,
+                                                 adc_bits, vectorized, seed):
+        device = get_device(device_name)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(12, 5)).astype(np.float32)
+        matrix = CiMMatrix(values, device, sigma=sigma, rows=8, cols=4,
+                           adc_bits=adc_bits, vectorized=vectorized,
+                           rng=np.random.default_rng(seed + 1))
+        query = rng.normal(size=12).astype(np.float32)
+        matrix.matvec(query)
+
+        rebuilt = CiMMatrix.from_snapshot(codec_roundtrip(matrix.snapshot()),
+                                          device)
+        assert rebuilt.aggregate_stats() == matrix.aggregate_stats()
+        assert np.array_equal(rebuilt.matvec(query), matrix.matvec(query))
+        assert np.array_equal(rebuilt.read_matrix(), matrix.read_matrix())
+
+    @settings(max_examples=15, deadline=None)
+    @given(device_name=DEVICES, sigma=SIGMAS,
+           seed=st.integers(0, 2**32 - 1))
+    def test_restored_rng_diverges_never(self, device_name, sigma, seed):
+        """After restore, future noise draws match the original's."""
+        device = get_device(device_name)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(10, 4)).astype(np.float32)
+        matrix = CiMMatrix(values, device, sigma=sigma, rows=8, cols=4,
+                           rng=np.random.default_rng(seed + 1))
+        rebuilt = CiMMatrix.from_snapshot(matrix.snapshot(), device)
+        masks = np.ones((matrix.bank.n_tiles, 8, 4), dtype=bool)
+        matrix.bank.reprogram_cells(masks)    # fresh noise draws
+        rebuilt.bank.reprogram_cells(masks)
+        assert np.array_equal(rebuilt.bank.conductance,
+                              matrix.bank.conductance)
+
+
+class TestSearchEngineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(device_name=DEVICES, sigma=SIGMAS, adc_bits=ADC_BITS,
+           vectorized=st.booleans(), n_ovts=st.integers(1, 4),
+           seed=st.integers(0, 2**32 - 1))
+    def test_store_roundtrip_scores_identically(self, device_name, sigma,
+                                                adc_bits, vectorized,
+                                                n_ovts, seed):
+        device = get_device(device_name)
+        config = dataclasses.replace(SSA_CONFIG, adc_bits=adc_bits)
+        rng = np.random.default_rng(seed)
+        engine = CiMSearchEngine(device, sigma=sigma, config=config,
+                                 vectorized=vectorized,
+                                 rng=np.random.default_rng(seed + 1))
+        engine.build([rng.normal(size=(rng.integers(2, 6), 8))
+                      .astype(np.float32) for _ in range(n_ovts)])
+        query = rng.normal(size=(3, 8)).astype(np.float32)
+        engine.query(query)
+
+        rebuilt = CiMSearchEngine.from_snapshot(
+            codec_roundtrip(engine.snapshot()), device, config=config)
+        assert rebuilt.aggregate_stats() == engine.aggregate_stats()
+        assert np.array_equal(rebuilt.query(query), engine.query(query))
+
+    @settings(max_examples=10, deadline=None)
+    @given(sigma=SIGMAS, n_ovts=st.integers(1, 3),
+           seed=st.integers(0, 2**32 - 1))
+    def test_digital_store_roundtrip(self, sigma, n_ovts, seed):
+        device = get_device("NVM-1")
+        rng = np.random.default_rng(seed)
+        engine = CiMSearchEngine(device, sigma=sigma, on_cim=False,
+                                 rng=np.random.default_rng(seed + 1))
+        engine.build([rng.normal(size=(3, 8)).astype(np.float32)
+                      for _ in range(n_ovts)])
+        query = rng.normal(size=(3, 8)).astype(np.float32)
+        rebuilt = CiMSearchEngine.from_snapshot(
+            codec_roundtrip(engine.snapshot()), device)
+        assert np.array_equal(rebuilt.query(query), engine.query(query))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=600, seed=0)
+    model = build_model("phi-2-sim", tok.vocab_size)
+    pretrain_lm(model, corpus, PretrainConfig(steps=80, seed=0))
+    return model, tok
+
+
+class TestSessionRoundTripAcrossTuners:
+    """The full session round-trip for each tuner configuration.
+
+    Hypothesis would retrain a pipeline per example; a straight grid over
+    the tuner axis (noise-aware vs plain) x capture mode keeps the same
+    coverage at a fraction of the cost.
+    """
+
+    @pytest.mark.parametrize("noise_aware", [True, False])
+    @pytest.mark.parametrize("mode", ["raw", "recipe"])
+    def test_roundtrip_answers_byte_identically(self, setup, noise_aware,
+                                                mode):
+        model, tok = setup
+        config = FrameworkConfig.preset("fast", noise_aware=noise_aware)
+        engine = PromptServeEngine(model, tok, config)
+        samples = make_dataset("LaMP-2").generate(make_user(3, seed=0), 10,
+                                                  seed=3)
+        engine.submit(TuneRequest(user_id=3, samples=tuple(samples)))
+        generation = GenerationConfig(max_new_tokens=4, temperature=0.0,
+                                      eos_id=tok.eos_id)
+        query = samples[-1].input_text
+        answer = engine.query(QueryRequest(user_id=3, text=query,
+                                           generation=generation)).answer
+        session = engine.session(3)
+        assert session.library.noise_aware is noise_aware
+
+        blob = SessionSnapshot.capture(session, mode=mode).to_bytes()
+        restored = SessionSnapshot.from_bytes(blob).build_session(model, tok)
+        assert restored.library.noise_aware is noise_aware
+        assert restored.cim_stats() == session.cim_stats()
+        assert restored.answer(query, generation) == answer
