@@ -6,6 +6,7 @@ import numpy as np
 
 from .module import Module, Parameter
 from .tensor import Tensor
+from ..utils import rng_from_seed
 
 __all__ = ["Linear", "Embedding", "LayerNorm", "Dropout", "Sequential"]
 
@@ -16,7 +17,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, *, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or rng_from_seed(0)
         scale = 1.0 / np.sqrt(in_features)
         self.in_features = in_features
         self.out_features = out_features
@@ -36,7 +37,7 @@ class Embedding(Module):
     def __init__(self, num_embeddings: int, embedding_dim: int, *,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or rng_from_seed(0)
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(rng.normal(0.0, 0.02, (num_embeddings, embedding_dim)))
@@ -76,7 +77,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or rng_from_seed(0)
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:

@@ -1,0 +1,69 @@
+"""CLI: ``python -m repro.analysis``.
+
+Exit status is the contract CI relies on: 0 when the tree is clean
+(no new findings, every suppression reasoned and load-bearing, no stale
+baseline entries), 1 otherwise.
+
+    python -m repro.analysis                     # text report
+    python -m repro.analysis --format json       # machine-readable
+    python -m repro.analysis --output out.json   # also write the JSON
+    python -m repro.analysis --baseline update   # re-absorb today's
+                                                 # findings into baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import engine as _engine
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lint for the repro invariants: determinism, "
+                    "lock discipline, snapshot completeness, codec "
+                    "safety, stats aggregation.")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package directory to analyze (default: the "
+                             "installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="report format on stdout")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON report to this path")
+    parser.add_argument("--baseline", choices=("check", "update"),
+                        default="check",
+                        help="'update' rewrites baseline.json with "
+                             "today's findings instead of failing on them")
+    parser.add_argument("--baseline-file", type=Path,
+                        default=_engine.DEFAULT_BASELINE,
+                        help="baseline JSON path (default: the checked-in "
+                             "analysis/baseline.json)")
+    args = parser.parse_args(argv)
+
+    baseline = _engine.load_baseline(args.baseline_file)
+    report = _engine.run_analysis(args.root, baseline=baseline)
+
+    if args.baseline == "update":
+        absorbed = report.baselined + report.findings
+        _engine.save_baseline(args.baseline_file, absorbed)
+        print(f"baseline updated: {len(absorbed)} entr(ies) -> "
+              f"{args.baseline_file}")
+        return 0
+
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.output is not None:
+        args.output.write_text(json.dumps(report.to_dict(), indent=2) + "\n",
+                               encoding="utf-8")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

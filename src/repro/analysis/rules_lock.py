@@ -1,0 +1,116 @@
+"""Lock discipline: LOCK-001.
+
+The serving engine's thread-safety contract (PR 6): the gateway drives
+admission, the decode loop and stats from different threads, so every
+public entry point that mutates engine state must run under
+``self._lock``.  This rule makes the contract structural: in any class
+that owns a ``self._lock`` (or is explicitly named below), a public
+method that stores into ``self.*`` state must either contain a
+``with self._lock:`` block or delegate to a ``*_locked`` helper (which
+by convention is only called with the lock held).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import RULES, FileContext, Rule, self_attribute_target
+from .findings import Finding
+
+__all__ = ["UnlockedPublicMutation"]
+
+# Classes held to lock discipline even if they do not (yet) own a lock:
+# the two engine facades the gateway serves from multiple threads.
+LOCKED_CLASSES = ("PromptServeEngine", "ShardedPromptEngine")
+
+
+def _assigns_lock(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if self_attribute_target(target) == "_lock":
+                    return True
+    return False
+
+
+def _mutated_attrs(method: ast.FunctionDef) -> list[tuple[str, ast.AST]]:
+    """(attribute, node) pairs for every store into ``self.*``."""
+    mutations = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        else:
+            continue
+        # Unpack tuple/list targets: `a, self.x = x, []` mutates self.x.
+        flat: list[ast.AST] = []
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                flat.extend(target.elts)
+            else:
+                flat.append(target)
+        for target in flat:
+            attr = self_attribute_target(target)
+            if attr is not None:
+                mutations.append((attr, node))
+    return mutations
+
+
+def _enters_lock(method: ast.FunctionDef) -> bool:
+    for node in ast.walk(method):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if self_attribute_target(item.context_expr) == "_lock":
+                    return True
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr.endswith("_locked")):
+                return True
+    return False
+
+
+@RULES.register("LOCK-001")
+class UnlockedPublicMutation(Rule):
+    """Public methods of lock-owning classes must mutate under the lock."""
+
+    rule_id = "LOCK-001"
+    title = "public engine entry points must hold self._lock to mutate"
+    default_hint = ("wrap the mutation in `with self._lock:` or delegate "
+                    "to a `_..._locked` helper called under the lock")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            init = next((m for m in node.body
+                         if isinstance(m, ast.FunctionDef)
+                         and m.name == "__init__"), None)
+            owns_lock = init is not None and _assigns_lock(init)
+            if not owns_lock and node.name not in LOCKED_CLASSES:
+                continue
+            for method in node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name.startswith("_"):
+                    continue   # private/dunder: callers hold the lock
+                mutations = _mutated_attrs(method)
+                if not mutations or _enters_lock(method):
+                    continue
+                attrs = sorted({attr for attr, _ in mutations})
+                first = min((node_ for _, node_ in mutations),
+                            key=lambda n: getattr(n, "lineno", 1))
+                yield self.finding(
+                    ctx, first,
+                    f"{node.name}.{method.name}() assigns "
+                    f"self.{', self.'.join(attrs)} without entering "
+                    f"self._lock; concurrent callers can observe torn "
+                    f"state")

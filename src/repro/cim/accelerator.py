@@ -37,7 +37,7 @@ import numpy as np
 from ..nvm.crossbar import CrossbarArray, CrossbarStats, TileBank, TileView
 from ..nvm.device_models import NVMDevice
 from ..nvm.quantize import Int16Codec, slice_to_digits, slice_weights
-from ..utils import spawn_generators
+from ..utils import rng_from_seed, spawn_generators
 
 __all__ = ["CiMMatrix", "MitigationHooks", "NullMitigation"]
 
@@ -122,7 +122,7 @@ class CiMMatrix:
         self.subarray_cols = cols
         self.mitigation = mitigation or NullMitigation()
         self.vectorized = vectorized
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or rng_from_seed(0)
 
         prepared = self.mitigation.prepare_values(values)
         self.shape = prepared.shape
@@ -550,7 +550,7 @@ class CiMMatrix:
                 f"snapshot was captured with mitigation "
                 f"{snap['mitigation']!r}, got {self.mitigation.name!r}")
         self.vectorized = bool(snap["vectorized"])
-        self._rng = np.random.default_rng(0)   # unused post-build
+        self._rng = np.random.default_rng(0)  # repro: noqa[RNG-001] unused post-build
         self.shape = tuple(int(d) for d in snap["shape"])
         self.codec = Int16Codec(scale=float(snap["codec_scale"]))
         self._ints = np.asarray(snap["ints"], dtype=np.int16).copy()

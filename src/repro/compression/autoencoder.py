@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ag import Adam, Linear, Module, Tensor, mse_loss, no_grad
+from ..utils import rng_from_seed
 
 __all__ = ["AutoencoderConfig", "OVTAutoencoder"]
 
@@ -44,7 +45,7 @@ class OVTAutoencoder(Module):
 
     def __init__(self, config: AutoencoderConfig):
         super().__init__()
-        rng = np.random.default_rng(config.seed)
+        rng = rng_from_seed(config.seed)
         self.config = config
         self.enc1 = Linear(config.input_dim, config.hidden_dim, rng=rng)
         self.enc2 = Linear(config.hidden_dim, config.code_dim, rng=rng)
@@ -108,7 +109,7 @@ class OVTAutoencoder(Module):
         """(Pre)train on embedding rows; returns the loss history."""
         rows = self._check_rows(rows)
         steps = steps or self.config.pretrain_steps
-        rng = np.random.default_rng(self.config.seed + 1)
+        rng = rng_from_seed(self.config.seed + 1)
         optimizer = Adam(self.parameters(), lr=self.config.lr)
         history = []
         for _ in range(steps):

@@ -23,6 +23,7 @@ from ..data.lamp import Sample
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
 from ..tuning import PromptArtifact, TuningConfig, VanillaPromptTuner
+from ..utils import rng_from_seed
 
 __all__ = ["NoiseInjectionConfig", "NoiseInjector", "NoiseAwareTrainer"]
 
@@ -68,7 +69,7 @@ class NoiseInjector:
 
     def __init__(self, config: NoiseInjectionConfig):
         self.config = config
-        self._rng = np.random.default_rng(config.seed)
+        self._rng = rng_from_seed(config.seed)
 
     def __call__(self, prompt: Tensor) -> Tensor:
         values = prompt.data

@@ -23,16 +23,18 @@ from __future__ import annotations
 
 import http.client
 import json
-import random
 import socket
 import threading
 import time
+
+import numpy as np
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..data.lamp import Sample
 from ..llm.generation import GenerationConfig
 from ..serve import QueryResponse, TuneResponse
+from ..utils import rng_from_seed
 from .server import query_response_from_dict
 from .validation import generation_to_dict
 
@@ -71,8 +73,12 @@ class RetryPolicy:
     retry_statuses: tuple[int, ...] = (429, 503)
 
     def delay(self, attempt: int, retry_after: float | None,
-              rng: random.Random) -> float:
-        """Delay before retry ``attempt`` (0-based), jittered."""
+              rng: np.random.Generator) -> float:
+        """Delay before retry ``attempt`` (0-based), jittered.
+
+        ``rng`` only needs a ``.random()`` method — an injected
+        ``np.random.Generator`` in production, anything duck-compatible
+        in tests."""
         backoff = min(self.backoff_cap_s,
                       self.backoff_base_s * (2.0 ** attempt))
         if retry_after is not None:
@@ -87,13 +93,18 @@ class GatewayClient:
                  timeout_s: float = 60.0,
                  pool_size: int = 8,
                  retry: RetryPolicy | None = None,
-                 seed: int | None = None):
+                 seed: int | None = None,
+                 rng: np.random.Generator | None = None):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.pool_size = pool_size
         self.retry = retry if retry is not None else RetryPolicy()
-        self._rng = random.Random(seed)
+        # Backoff jitter draws from a seeded generator so a replayed
+        # trace sleeps the same schedule; callers may inject their own
+        # stream (e.g. one spawned per client by the load harness).
+        self._rng = rng if rng is not None else rng_from_seed(
+            0 if seed is None else seed)
         self._pool: list[http.client.HTTPConnection] = []
         self._lock = threading.Lock()
         self.retries = 0          # total retry sleeps taken

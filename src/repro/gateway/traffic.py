@@ -33,6 +33,7 @@ import numpy as np
 
 from ..llm.generation import GenerationConfig
 from .client import DeadlineExceeded, GatewayClient, GatewayError
+from ..utils import rng_from_seed
 
 __all__ = ["TraceConfig", "TraceEvent", "zipf_weights", "build_trace",
            "RequestRecord", "TraceReport", "replay"]
@@ -126,7 +127,7 @@ def build_trace(
     counts that user's requests so far) or a plain sequence cycled by
     event index.  Same config + same source ⇒ the identical trace.
     """
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     times = _arrival_times(config, rng)
     weights = zipf_weights(config.n_users, config.zipf_alpha)
     users = rng.choice(config.n_users, size=len(times), p=weights)

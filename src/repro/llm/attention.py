@@ -31,6 +31,7 @@ from typing import Sequence
 import numpy as np
 
 from ..ag import Linear, Module, Tensor, cat, softmax
+from ..utils import rng_from_seed
 
 __all__ = ["MultiHeadSelfAttention", "KVPrefix"]
 
@@ -48,7 +49,7 @@ class MultiHeadSelfAttention(Module):
         super().__init__()
         if d_model % n_heads != 0:
             raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or rng_from_seed(0)
         self.d_model = d_model
         self.n_heads = n_heads
         self.d_head = d_model // n_heads

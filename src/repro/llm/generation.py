@@ -38,6 +38,7 @@ from ..ag import Tensor, cat, no_grad
 from .attention import KVPrefix
 from .kv_cache import BatchedKVCache, KVCache
 from .transformer import TinyCausalLM
+from ..utils import rng_from_seed
 
 __all__ = ["GenerationConfig", "PrefillState", "generate", "prefill",
            "decode_from", "DecodeSequence", "DecodeScheduler",
@@ -172,7 +173,7 @@ def decode_from(
     it is constant conditioning, not part of the cache.  The state itself
     is left untouched (decode again for another sample).
     """
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     budget = model.config.max_seq_len - state.virtual_len
     total = state.n_tokens
     logits = state.last_logits
@@ -253,7 +254,7 @@ def _generate_uncached(
     prefix_kv: list[KVPrefix] | None,
 ) -> np.ndarray:
     """Reference full-reforward loop (the pre-cache behaviour)."""
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     was_training = model.training
     if was_training:
         model.eval()
@@ -317,7 +318,7 @@ class DecodeSequence:
         # default) never expires, so deadline-free serving stays exactly the
         # deterministic reference path.
         self.deadline = deadline
-        self._rng = np.random.default_rng(config.seed)
+        self._rng = rng_from_seed(config.seed)
         self._total = state.n_tokens
         self._budget = budget
 

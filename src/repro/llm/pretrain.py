@@ -15,6 +15,7 @@ import numpy as np
 
 from ..ag import Adam, LinearWarmupDecay, clip_grad_norm, cross_entropy
 from .transformer import TinyCausalLM
+from ..utils import rng_from_seed
 
 __all__ = ["PretrainConfig", "pretrain_lm"]
 
@@ -49,7 +50,7 @@ def pretrain_lm(model: TinyCausalLM, token_stream: np.ndarray,
                 config: PretrainConfig = PretrainConfig()) -> list[float]:
     """Train ``model`` in place on next-token prediction; return loss curve."""
     token_stream = np.asarray(token_stream, dtype=np.int64).reshape(-1)
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     optimizer = Adam(model.parameters(), lr=config.lr)
     scheduler = LinearWarmupDecay(
         optimizer,

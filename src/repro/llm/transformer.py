@@ -32,6 +32,7 @@ import numpy as np
 from ..ag import Embedding, Dropout, LayerNorm, Linear, Module, Tensor, gelu
 from .attention import KVPrefix, MultiHeadSelfAttention
 from .kv_cache import BatchedKVCache, KVCache
+from ..utils import rng_from_seed
 
 __all__ = ["LMConfig", "TransformerBlock", "TinyCausalLM"]
 
@@ -108,7 +109,7 @@ class TinyCausalLM(Module):
 
     def __init__(self, config: LMConfig, *, seed: int = 0):
         super().__init__()
-        rng = np.random.default_rng(seed)
+        rng = rng_from_seed(seed)
         self.config = config
         self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
         self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)

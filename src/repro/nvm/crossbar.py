@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from .device_models import NVMDevice
+from ..utils import rng_from_seed
 
 __all__ = ["CrossbarArray", "CrossbarStats", "TileBank", "TileView",
            "SNAPSHOT_VERSION"]
@@ -107,6 +108,10 @@ def _restore_rng_state(rng: np.random.Generator, snap: dict) -> None:
 class CrossbarArray:
     """One NVM subarray with noisy programming and analog readout."""
 
+    # The device model is configuration, not state: snapshots are loaded
+    # back into an array built with the same device (checked by name).
+    _SNAPSHOT_EXCLUDED = ("device",)
+
     def __init__(self, device: NVMDevice, *, rows: int = 384, cols: int = 128,
                  sigma: float = 0.1, adc_bits: int = 8,
                  rng: np.random.Generator | None = None):
@@ -119,7 +124,7 @@ class CrossbarArray:
         self.cols = cols
         self.sigma = sigma
         self.adc_bits = adc_bits
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or rng_from_seed(0)
         self._target_levels = np.zeros((rows, cols), dtype=np.int64)
         self._conductance = np.zeros((rows, cols), dtype=np.float32)
         self._programmed = False
@@ -272,6 +277,12 @@ class TileBank:
     depend on what other tiles drew first.
     """
 
+    # `device` is configuration re-supplied at rebuild; the `_merged*`
+    # trio is a lazily invalidated matmul-operand cache keyed off
+    # `version`, rebuilt on first use after restore.
+    _SNAPSHOT_EXCLUDED = ("device", "_merged", "_merged_groups",
+                          "_merged_key")
+
     def __init__(self, device: NVMDevice, n_tiles: int, *, rows: int = 384,
                  cols: int = 128, sigma: float = 0.1, adc_bits: int = 8,
                  rngs: Sequence[np.random.Generator] | None = None):
@@ -282,7 +293,7 @@ class TileBank:
         if adc_bits < 2 or adc_bits > 16:
             raise ValueError("adc_bits must be in [2, 16]")
         if rngs is None:
-            rngs = [np.random.default_rng(i) for i in range(n_tiles)]
+            rngs = [rng_from_seed(i) for i in range(n_tiles)]
         if len(rngs) != n_tiles:
             raise ValueError(f"need {n_tiles} per-tile generators, "
                              f"got {len(rngs)}")

@@ -25,7 +25,7 @@ import numpy as np
 from ..cim.accelerator import CiMMatrix, MitigationHooks
 from ..nvm.crossbar import CrossbarStats, _restore_rng_state, _rng_state
 from ..nvm.device_models import NVMDevice
-from ..utils import Registry, spawn_generators
+from ..utils import Registry, rng_from_seed, spawn_generators
 from .pooling import multi_scale_vectors
 
 __all__ = ["SearchConfig", "SSA_CONFIG", "MIPS_CONFIG", "CiMSearchEngine",
@@ -117,6 +117,10 @@ def wmsdp_reference(query: np.ndarray, candidate: np.ndarray,
 class CiMSearchEngine:
     """Stores encoded OVTs on NVM and retrieves by WMSDP / MIPS."""
 
+    # The device model is configuration: restore targets an engine
+    # already built with the same device (snapshot stores its name).
+    _SNAPSHOT_EXCLUDED = ("device",)
+
     def __init__(
         self,
         device: NVMDevice,
@@ -134,7 +138,7 @@ class CiMSearchEngine:
         self.mitigation = mitigation
         self.on_cim = on_cim
         self.vectorized = vectorized
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng or rng_from_seed(0)
         self._scale_matrices: dict[int, CiMMatrix] = {}
         self._digital_vectors: dict[int, np.ndarray] = {}
         self._norms: dict[int, np.ndarray] = {}

@@ -386,6 +386,7 @@ class PromptServeEngine:
                 "latency_ms": self._latency.summary(),
                 "decode_rounds": rounds,
                 "decode_tokens": scheduler.tokens_emitted,
+                "occupancy_sum": scheduler.occupancy_sum,
                 "tokens_per_round": (scheduler.tokens_emitted / rounds
                                      if rounds else 0.0),
                 "batch_occupancy": (scheduler.occupancy_sum / rounds

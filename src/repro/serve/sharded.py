@@ -43,20 +43,22 @@ from .api import (
 from .engine import PromptServeEngine
 from .metrics import LatencyHistogram
 from .session import UserSession
+from .stats_manifest import STATS_MANIFEST
 from .store import SessionStore
 
 __all__ = ["ShardedPromptEngine"]
 
-# stats() keys that aggregate by plain summation across workers.
-_SUMMED_KEYS = (
-    "active_sessions", "max_sessions", "evicted_sessions",
-    "sessions_created", "sessions_spilled", "sessions_restored",
-    "requests_served", "stored_ovts", "prefill_hits",
-    "prefill_cache_bytes", "pending_generations", "queue_depth",
-    "admitted", "rejected", "decode_rounds", "decode_tokens",
-    "cim_mvm_ops", "cim_adc_conversions", "cim_cell_reads",
-    "cim_write_pulses",
-)
+
+def _summed_keys() -> tuple[str, ...]:
+    """The additive counters, straight from the stats manifest."""
+    return tuple(key for key, kind in STATS_MANIFEST.items()
+                 if kind == "additive")
+
+
+# Back-compat alias (tests iterate it); the live source of truth is the
+# manifest, which stats() re-reads so runtime register_stat() calls are
+# picked up without re-importing this module.
+_SUMMED_KEYS = _summed_keys()
 
 
 class ShardedPromptEngine:
@@ -233,19 +235,26 @@ class ShardedPromptEngine:
         The shared session store is reported once, not per worker.
         """
         per_worker = [worker.stats() for worker in self.workers]
-        aggregate: dict = {key: sum(stats[key] for stats in per_worker)
-                           for key in _SUMMED_KEYS}
-        pending_caps = [worker.max_pending for worker in self.workers]
-        aggregate["max_pending"] = (None if any(c is None
-                                                for c in pending_caps)
-                                    else sum(pending_caps))
-        rounds = aggregate["decode_rounds"]
-        occupancy_sum = sum(worker._scheduler.occupancy_sum
-                            for worker in self.workers)
-        aggregate["tokens_per_round"] = (aggregate["decode_tokens"] / rounds
-                                         if rounds else 0.0)
-        aggregate["batch_occupancy"] = (occupancy_sum / rounds
-                                        if rounds else 0.0)
+        aggregate: dict = {}
+        # Scalar kinds merge by their declared semantics.  A key missing
+        # from any worker is skipped, not guessed at: extension counters
+        # only aggregate once both declared (register_stat) and emitted.
+        for key, kind in STATS_MANIFEST.items():
+            if not all(key in stats for stats in per_worker):
+                continue
+            values = [stats[key] for stats in per_worker]
+            if kind == "additive":
+                aggregate[key] = sum(values)
+            elif kind == "capacity":
+                aggregate[key] = (None if any(v is None for v in values)
+                                  else sum(values))
+        # Ratios recompute from the summed numerators/denominators.
+        for key, kind in STATS_MANIFEST.items():
+            if isinstance(kind, tuple) and kind[0] == "ratio":
+                _, num, den = kind
+                if num in aggregate and den in aggregate:
+                    aggregate[key] = (aggregate[num] / aggregate[den]
+                                      if aggregate[den] else 0.0)
         latency = LatencyHistogram()
         for worker in self.workers:
             latency.merge(worker._latency)

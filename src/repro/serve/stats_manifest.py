@@ -1,0 +1,97 @@
+"""The stats manifest: how every serving counter aggregates across shards.
+
+Single-engine ``stats()`` and fleet-wide ``ShardedPromptEngine.stats()``
+must agree on what each key *means* under aggregation — summing an
+average or averaging a ratio is the classic dashboard lie.  This module
+is the one place that meaning is declared; the sharded engine merges
+from it (no hardcoded key lists) and the STATS-001 lint rule
+cross-checks it against the keys the engines actually emit.
+
+``STATS_MANIFEST`` must stay a **pure literal**: the linter reads it
+with ``ast.literal_eval`` so it can check the manifest without importing
+(and therefore executing) any serve code.  Do not compute entries.
+
+Kinds:
+
+- ``"additive"``    — sums across workers (monotonic counters, gauges
+  that partition across shards, and per-worker capacity budgets like
+  ``max_sessions``).
+- ``"capacity"``    — additive, but ``None`` means unbounded and
+  poisons the sum (one uncapped worker makes the fleet uncapped).
+- ``"histogram"``   — merged sample-by-sample via
+  :meth:`~repro.serve.metrics.LatencyHistogram.merge`, never summed.
+- ``("ratio", numerator_key, denominator_key)`` — recomputed from the
+  *summed* numerator/denominator; averaging per-worker ratios would
+  weight idle workers equally with busy ones.
+- ``"structural"``  — not aggregated: reported once fleet-wide
+  (``session_store``) or synthesized by the sharded engine itself
+  (``n_workers``, ``workers``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["STATS_MANIFEST", "register_stat"]
+
+STATS_MANIFEST = {
+    # -- session lifecycle ------------------------------------------------
+    "active_sessions": "additive",
+    "max_sessions": "additive",
+    "evicted_sessions": "additive",
+    "sessions_created": "additive",
+    "sessions_spilled": "additive",
+    "sessions_restored": "additive",
+    "session_store": "structural",
+    # -- request flow -----------------------------------------------------
+    "requests_served": "additive",
+    "stored_ovts": "additive",
+    "prefill_hits": "additive",
+    "prefill_cache_bytes": "additive",
+    "pending_generations": "additive",
+    "queue_depth": "additive",
+    "max_pending": "capacity",
+    "admitted": "additive",
+    "rejected": "additive",
+    "latency_ms": "histogram",
+    # -- decode telemetry -------------------------------------------------
+    "decode_rounds": "additive",
+    "decode_tokens": "additive",
+    "occupancy_sum": "additive",
+    "tokens_per_round": ("ratio", "decode_tokens", "decode_rounds"),
+    "batch_occupancy": ("ratio", "occupancy_sum", "decode_rounds"),
+    # -- CiM hardware counters --------------------------------------------
+    "cim_mvm_ops": "additive",
+    "cim_adc_conversions": "additive",
+    "cim_cell_reads": "additive",
+    "cim_write_pulses": "additive",
+    # -- fleet shape (sharded engine only) --------------------------------
+    "n_workers": "structural",
+    "workers": "structural",
+}
+
+_KINDS = ("additive", "capacity", "histogram", "structural")
+
+
+def register_stat(key: str, kind) -> None:
+    """Declare an extension counter so the sharded merge picks it up.
+
+    Plugins that teach ``PromptServeEngine.stats()`` a new key call this
+    once at import time; ``ShardedPromptEngine.stats()`` then aggregates
+    the key with the declared semantics instead of dropping it (or,
+    worse, someone hand-editing a key list).  ``kind`` is one of the
+    scalar kinds or a ``("ratio", num, den)`` tuple, exactly as in
+    :data:`STATS_MANIFEST`.
+    """
+    if isinstance(kind, tuple):
+        if len(kind) != 3 or kind[0] != "ratio":
+            raise ValueError(
+                f"tuple kinds must be ('ratio', num_key, den_key), "
+                f"got {kind!r}")
+    elif kind not in _KINDS:
+        raise ValueError(
+            f"unknown stat kind {kind!r}; expected one of {_KINDS} "
+            f"or a ('ratio', num, den) tuple")
+    existing = STATS_MANIFEST.get(key)
+    if existing is not None and existing != kind:
+        raise ValueError(
+            f"stat {key!r} already declared as {existing!r}")
+    STATS_MANIFEST[key] = kind

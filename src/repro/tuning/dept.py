@@ -25,6 +25,7 @@ from .base import (
 )
 from .trainer import train_prompt_parameters
 from .vanilla import initial_prompt_matrix
+from ..utils import rng_from_seed
 
 __all__ = ["DEPTTuner"]
 
@@ -45,7 +46,7 @@ class DEPTTuner:
 
     def fit(self, samples: list[Sample]) -> PromptArtifact:
         cfg = self.model.config
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
         # DEPT halves the prompt length, spending the rest on the low-rank
         # embedding update.
         short_len = max(1, self.config.n_virtual_tokens // 2)

@@ -23,6 +23,7 @@ from .base import (
     mean_loss,
 )
 from .trainer import train_prompt_parameters
+from ..utils import rng_from_seed
 
 __all__ = ["PrefixTuner", "prefix_loss_for_sample", "prefix_loss_for_batch",
            "kv_prefix_tensors"]
@@ -89,7 +90,7 @@ class PrefixTuner:
         n_layers, n_heads = cfg.n_layers, cfg.n_heads
         d_head = cfg.d_model // n_heads
         p = self.config.n_virtual_tokens
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
 
         # Reparameterisation: prefix embedding -> MLP -> all layers' KV.
         out_dim = n_layers * 2 * n_heads * d_head

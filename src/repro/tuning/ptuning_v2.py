@@ -16,6 +16,7 @@ from ..llm.transformer import TinyCausalLM
 from .base import PromptArtifact, TuningConfig
 from .prefix import prefix_loss_for_batch
 from .trainer import train_prompt_parameters
+from ..utils import rng_from_seed
 
 __all__ = ["PTuningV2Tuner"]
 
@@ -49,7 +50,7 @@ class PTuningV2Tuner:
 
     def fit(self, samples: list[Sample]) -> PromptArtifact:
         cfg = self.model.config
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
         prompts = [
             Parameter(rng.normal(0.0, 0.02,
                                  (self.config.n_virtual_tokens, cfg.d_model)))

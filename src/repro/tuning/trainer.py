@@ -18,6 +18,7 @@ from ..ag import Adam, LinearWarmupDecay, Parameter, Tensor, clip_grad_norm
 from ..data.lamp import Sample
 from ..llm.transformer import TinyCausalLM
 from .base import TuningConfig
+from ..utils import rng_from_seed
 
 __all__ = ["freeze_model", "train_prompt_parameters"]
 
@@ -80,7 +81,7 @@ def train_prompt_parameters(
     """
     if not samples:
         raise ValueError("prompt tuning needs at least one sample")
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     optimizer = Adam(list(parameters), lr=config.lr,
                      weight_decay=config.weight_decay)
     scheduler = LinearWarmupDecay(

@@ -25,6 +25,7 @@ from .base import (
     mean_loss,
 )
 from .trainer import train_prompt_parameters
+from ..utils import rng_from_seed
 
 __all__ = ["VanillaPromptTuner", "prompt_loss_for_sample",
            "prompt_loss_for_batch"]
@@ -111,7 +112,7 @@ class VanillaPromptTuner:
         ``transform`` is applied to the prompt tensor inside each forward
         pass (noise-aware training plugs in here).
         """
-        rng = np.random.default_rng(self.config.seed)
+        rng = rng_from_seed(self.config.seed)
         init = initial_prompt_matrix(self.model, self.tokenizer, samples,
                                      self.config.n_virtual_tokens, rng)
         prompt = Parameter(init)

@@ -1,0 +1,344 @@
+"""Fixture matrix for every lint rule: true positive, true negative,
+and suppressed case, each run against a tiny on-disk tree."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import RULES, run_analysis
+
+
+def run_tree(tmp_path, files, rule_ids=None):
+    """Write ``{relpath: source}`` under ``tmp_path/repro`` and analyze it."""
+    root = tmp_path / "repro"
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content))
+    rules = ({rid: RULES[rid] for rid in rule_ids}
+             if rule_ids is not None else None)
+    return run_analysis(root, rules=rules)
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# RNG-001: np.random outside utils
+# ----------------------------------------------------------------------
+class TestRng001:
+    def test_true_positive_seedless_seeded_and_legacy(self, tmp_path):
+        report = run_tree(tmp_path, {"llm/bad.py": """\
+            import numpy as np
+            a = np.random.default_rng()
+            b = np.random.default_rng(0)
+            c = np.random.normal(0.0, 1.0)
+        """}, ["RNG-001"])
+        assert rules_of(report) == ["RNG-001"] * 3
+        assert [f.line for f in report.findings] == [2, 3, 4]
+
+    def test_true_negative_utils_and_injected(self, tmp_path):
+        report = run_tree(tmp_path, {
+            # utils itself is the one place default_rng may live
+            "utils/rng.py": """\
+                import numpy as np
+                def rng_from_seed(seed):
+                    return np.random.default_rng(int(seed))
+            """,
+            "llm/good.py": """\
+                from ..utils import rng_from_seed
+                def init(rng=None):
+                    rng = rng or rng_from_seed(0)
+                    return rng.normal(size=3)
+            """,
+        }, ["RNG-001"])
+        assert report.findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        report = run_tree(tmp_path, {"cim/ok.py": """\
+            import numpy as np
+            r = np.random.default_rng(0)  # repro: noqa[RNG-001] never drawn
+        """}, ["RNG-001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0][1] == "never drawn"
+
+
+# ----------------------------------------------------------------------
+# RNG-002: stdlib random / wall clock in deterministic paths
+# ----------------------------------------------------------------------
+class TestRng002:
+    def test_true_positive_in_serve(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/bad.py": """\
+            import random
+            import time
+            import datetime
+            def jitter():
+                return random.random() + time.time()
+            def stamp():
+                return datetime.datetime.now()
+        """}, ["RNG-002"])
+        found = rules_of(report)
+        assert found == ["RNG-002"] * 4  # import, call, time.time, now
+        messages = " ".join(f.message for f in report.findings)
+        assert "wall clock" in messages
+
+    def test_true_negative_outside_and_monotonic(self, tmp_path):
+        report = run_tree(tmp_path, {
+            # eval/ is not a deterministic path: wall clocks allowed
+            "eval/ok.py": "import time\nt = time.time()\n",
+            # perf_counter feeds telemetry, never token streams
+            "serve/ok.py": "import time\nt = time.perf_counter()\n",
+        }, ["RNG-002"])
+        assert report.findings == []
+
+    def test_suppressed_in_gateway_with_reason(self, tmp_path):
+        report = run_tree(tmp_path, {"gateway/ok.py": """\
+            import time
+            def deadline():
+                return time.time() + 1.0  # repro: noqa[RNG-002] wire deadline
+        """}, ["RNG-002"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# LOCK-001: public mutations under self._lock
+# ----------------------------------------------------------------------
+class TestLock001:
+    def test_true_positive_unlocked_public_mutation(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/bad.py": """\
+            import threading
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.count = 0
+                def bump(self):
+                    self.count += 1
+        """}, ["LOCK-001"])
+        assert rules_of(report) == ["LOCK-001"]
+        assert "bump" in report.findings[0].message
+
+    def test_true_negative_locked_private_and_helper(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/good.py": """\
+            import threading
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.count = 0
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+                def bump_via_helper(self):
+                    self._bump_locked()
+                def _internal(self):
+                    self.count += 1  # private: caller holds the lock
+                def _bump_locked(self):
+                    self.count += 1
+        """}, ["LOCK-001"])
+        assert report.findings == []
+
+    def test_named_classes_checked_even_without_lock(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/facade.py": """\
+            class ShardedPromptEngine:
+                def reset(self):
+                    self.count = 0
+        """}, ["LOCK-001"])
+        assert rules_of(report) == ["LOCK-001"]
+
+    def test_suppressed(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/ok.py": """\
+            import threading
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self.count = 0
+                def bump(self):
+                    self.count += 1  # repro: noqa[LOCK-001] single-threaded
+        """}, ["LOCK-001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# SNAP-001: snapshot completeness
+# ----------------------------------------------------------------------
+class TestSnap001:
+    def test_true_positive_missing_attribute(self, tmp_path):
+        report = run_tree(tmp_path, {"nvm/bad.py": """\
+            class Bank:
+                def __init__(self):
+                    self.levels = []
+                    self.new_counter = 0
+                def snapshot(self):
+                    return {"levels": self.levels}
+                def restore(self, snap):
+                    self.levels = snap["levels"]
+        """}, ["SNAP-001"])
+        assert rules_of(report) == ["SNAP-001"]
+        assert "new_counter" in report.findings[0].message
+
+    def test_true_negative_covered_string_key_and_excluded(self, tmp_path):
+        report = run_tree(tmp_path, {"nvm/good.py": """\
+            class Bank:
+                _SNAPSHOT_EXCLUDED = ("device",)
+                def __init__(self, device):
+                    self.device = device
+                    self.levels = []
+                    self.count = 0
+                def snapshot(self):
+                    return {"levels": self.levels, "count": self.count}
+                def restore(self, snap):
+                    for name in ("levels", "count"):
+                        setattr(self, name, snap[name])
+        """}, ["SNAP-001"])
+        assert report.findings == []
+
+    def test_no_snapshot_method_means_no_contract(self, tmp_path):
+        report = run_tree(tmp_path, {"nvm/plain.py": """\
+            class Plain:
+                def __init__(self):
+                    self.anything = 1
+        """}, ["SNAP-001"])
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run_tree(tmp_path, {"nvm/ok.py": """\
+            class Bank:
+                def __init__(self):
+                    self.levels = []
+                    self.scratch = None  # repro: noqa[SNAP-001] rebuilt lazily
+                def snapshot(self):
+                    return {"levels": self.levels}
+        """}, ["SNAP-001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# SEC-001: no pickle / eval / exec
+# ----------------------------------------------------------------------
+class TestSec001:
+    def test_true_positive_pickle_eval_np_load(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/bad.py": """\
+            import pickle
+            import numpy as np
+            def load(blob, path):
+                a = pickle.loads(blob)
+                b = eval("1 + 1")
+                c = np.load(path, allow_pickle=True)
+                return a, b, c
+        """}, ["SEC-001"])
+        assert rules_of(report) == ["SEC-001"] * 4
+
+    def test_true_negative_typed_codec(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/good.py": """\
+            import json
+            import numpy as np
+            def load(blob, path):
+                return json.loads(blob), np.load(path, allow_pickle=False)
+        """}, ["SEC-001"])
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run_tree(tmp_path, {"eval/ok.py": """\
+            import marshal  # repro: noqa[SEC-001] compat shim, never loads
+        """}, ["SEC-001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# STATS-001: stats() keys declared in the manifest
+# ----------------------------------------------------------------------
+MANIFEST = """\
+    STATS_MANIFEST = {
+        "requests": "additive",
+        "cap": "capacity",
+        "rate": ("ratio", "requests", "cap"),
+    }
+"""
+
+
+class TestStats001:
+    def test_true_positive_undeclared_key(self, tmp_path):
+        report = run_tree(tmp_path, {
+            "serve/stats_manifest.py": MANIFEST,
+            "serve/engine.py": """\
+                class PromptServeEngine:
+                    def stats(self):
+                        out = {"requests": 1}
+                        out["mystery"] = 2
+                        return out
+            """,
+        }, ["STATS-001"])
+        assert rules_of(report) == ["STATS-001"]
+        assert "mystery" in report.findings[0].message
+
+    def test_true_negative_all_declared(self, tmp_path):
+        report = run_tree(tmp_path, {
+            "serve/stats_manifest.py": MANIFEST,
+            "serve/engine.py": """\
+                class ShardedPromptEngine:
+                    def stats(self):
+                        return {"requests": 1, "cap": None, "rate": 0.0}
+            """,
+        }, ["STATS-001"])
+        assert report.findings == []
+
+    def test_missing_manifest_is_a_finding(self, tmp_path):
+        report = run_tree(tmp_path, {"serve/engine.py": """\
+            class PromptServeEngine:
+                def stats(self):
+                    return {"requests": 1}
+        """}, ["STATS-001"])
+        assert rules_of(report) == ["STATS-001"]
+        assert "missing" in report.findings[0].message
+
+    def test_non_literal_manifest_is_a_finding(self, tmp_path):
+        report = run_tree(tmp_path, {
+            "serve/stats_manifest.py":
+                "STATS_MANIFEST = dict(requests='additive')\n",
+        }, ["STATS-001"])
+        assert rules_of(report) == ["STATS-001"]
+
+    def test_bad_ratio_reference_is_a_finding(self, tmp_path):
+        report = run_tree(tmp_path, {
+            "serve/stats_manifest.py": """\
+                STATS_MANIFEST = {
+                    "rate": ("ratio", "requests", "missing_den"),
+                }
+            """,
+        }, ["STATS-001"])
+        assert rules_of(report) == ["STATS-001"]
+
+    def test_suppressed(self, tmp_path):
+        report = run_tree(tmp_path, {
+            "serve/stats_manifest.py": MANIFEST,
+            "serve/engine.py": """\
+                class PromptServeEngine:
+                    def stats(self):
+                        return {"debug": 1}  # repro: noqa[STATS-001] local
+            """,
+        }, ["STATS-001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# Registry plumbing
+# ----------------------------------------------------------------------
+def test_all_shipped_rules_registered():
+    assert set(RULES.names()) >= {"RNG-001", "RNG-002", "LOCK-001",
+                                  "SNAP-001", "SEC-001", "STATS-001"}
+
+
+def test_registry_rejects_mismatched_rule_id():
+    from repro.analysis import Rule
+
+    class Bogus(Rule):
+        rule_id = "XXX-999"
+
+    with pytest.raises(ValueError):
+        RULES.register("YYY-111", Bogus)
