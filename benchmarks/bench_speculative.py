@@ -1,0 +1,250 @@
+"""Speculative draft-verify decoding vs plain batched decoding.
+
+The decode loop's new fast path: a distilled draft model proposes up to
+``max_draft`` greedy tokens per sequence per round, and the base model
+verifies the whole proposal in one ragged ``decode_span`` forward.
+Greedy acceptance keeps every answer token-identical to the plain
+batched path (and therefore to the sequential reference) — the win is
+fewer base-model forwards per emitted token, measured here as decode
+tokens/s at serving batch sizes.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_speculative.py            # timing
+    PYTHONPATH=src python benchmarks/bench_speculative.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_speculative.py --quick \
+        --json BENCH_speculative.json                                # CI artifact
+
+Smoke mode is the CI gate for the whole subsystem: it checks token
+identity across confidence policies, draft depths and batch sizes, then
+requires speculative decoding to reach ``--min-speedup`` (1.3x) the
+plain batched tokens/s at batch 8.  Timing interleaves plain/speculative
+repetitions and compares medians, so a background-load spike hits both
+arms instead of fabricating (or destroying) a speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.data import build_corpus, build_tokenizer
+from repro.llm import (
+    DecodeScheduler,
+    GenerationConfig,
+    PretrainConfig,
+    SpeculativeDecoder,
+    build_draft_model,
+    build_model,
+    distill_draft,
+    prefill,
+    pretrain_lm,
+)
+
+# The tuned serving configuration: deep drafts with a permissive
+# confidence cutoff, leaning on the distilled draft's high agreement.
+TUNED_DRAFT_DEPTH = 10
+TUNED_THRESHOLD = 0.3
+
+DISTILL_PROMPTS = [
+    "the movie was", "a quiet morning", "science fiction story",
+    "my favorite recipe", "breaking news today", "the weather is",
+    "he opened the door", "numbers and letters", "the committee agreed",
+    "in the beginning", "her latest album", "the engine started",
+]
+
+
+def build_pair(*, pretrain_steps: int, distill_steps: int):
+    """A pretrained base model and a draft distilled from it."""
+    tok = build_tokenizer()
+    corpus = build_corpus(tok, n_sentences=400, seed=0)
+    base = build_model("phi-2-sim", tok.vocab_size, max_seq_len=256)
+    pretrain_lm(base, corpus, PretrainConfig(steps=pretrain_steps, seed=0))
+    draft = build_draft_model("phi-2-sim", tok.vocab_size, max_seq_len=256)
+    prompts = [np.asarray(tok.encode(text), dtype=np.int64)
+               for text in DISTILL_PROMPTS]
+    distill_draft(draft, base, prompts, max_new_tokens=48,
+                  pretrain=PretrainConfig(steps=distill_steps, seed=1))
+    return base, draft, tok, prompts
+
+
+def decode_run(base, prompts, speculative, *, batch: int, max_new: int):
+    """Drain one batch through the scheduler; timed decode loop only.
+
+    Prefill happens outside the timed region — the benchmark measures
+    the decode loop, which is where speculation changes the forward
+    count.  Returns (seconds, generations, scheduler).
+    """
+    scheduler = DecodeScheduler(base, speculative=speculative)
+    sequences = []
+    for index in range(batch):
+        ids = prompts[index % len(prompts)]
+        state = prefill(base, ids[None])
+        sequences.append(scheduler.admit(
+            state,
+            GenerationConfig(max_new_tokens=max_new, temperature=0.0),
+            prompt_ids=ids))
+    start = time.perf_counter()
+    while scheduler.has_active:
+        scheduler.decode_round()
+    elapsed = time.perf_counter() - start
+    return elapsed, [tuple(seq.generated) for seq in sequences], scheduler
+
+
+def check_equivalence(base, draft, prompts, *, batch_sizes, depths,
+                      policies, max_new: int) -> int:
+    """Token identity of every speculative configuration vs plain."""
+    failures = 0
+    reference = {
+        batch: decode_run(base, prompts, None, batch=batch,
+                          max_new=max_new)[1]
+        for batch in batch_sizes
+    }
+    for policy in policies:
+        for depth in depths:
+            for batch in batch_sizes:
+                spec = SpeculativeDecoder(draft, max_draft=depth,
+                                          policy=policy, threshold=0.1)
+                _, generated, _ = decode_run(base, prompts, spec,
+                                             batch=batch, max_new=max_new)
+                ok = generated == reference[batch]
+                if not ok:
+                    failures += 1
+                print(f"{'ok  ' if ok else 'FAIL'} policy={policy:<11} "
+                      f"depth={depth:>2} batch={batch}")
+    return failures
+
+
+def timed_comparison(base, draft, prompts, *, batch: int, max_new: int,
+                     reps: int):
+    """Interleaved plain/speculative medians at one batch size."""
+    spec = SpeculativeDecoder(draft, max_draft=TUNED_DRAFT_DEPTH,
+                              threshold=TUNED_THRESHOLD)
+    plain_times, spec_times = [], []
+    last_scheduler = None
+    reference = None
+    for _ in range(reps):
+        elapsed, generated, _ = decode_run(base, prompts, None,
+                                           batch=batch, max_new=max_new)
+        plain_times.append(elapsed)
+        if reference is None:
+            reference = generated
+        elapsed, generated, last_scheduler = decode_run(
+            base, prompts, spec, batch=batch, max_new=max_new)
+        spec_times.append(elapsed)
+        if generated != reference:
+            return None  # identity failure trumps any timing
+    tokens = batch * max_new
+    t_plain = statistics.median(plain_times)
+    t_spec = statistics.median(spec_times)
+    sched = last_scheduler
+    acceptance = (sched.draft_accepted / sched.draft_proposed
+                  if sched.draft_proposed else 0.0)
+    return {
+        "tokens": tokens,
+        "tokens_per_s_plain": tokens / t_plain,
+        "tokens_per_s_speculative": tokens / t_spec,
+        "speedup": t_plain / t_spec,
+        "acceptance_rate": acceptance,
+        "tokens_per_forward": (sched.tokens_emitted / sched.forwards
+                               if sched.forwards else 0.0),
+        "draft_forwards": sched.draft_forwards,
+        "base_forwards": sched.forwards,
+    }
+
+
+def report(result: dict, batch: int, max_new: int) -> None:
+    print(f"\n=== Speculative decoding: batch {batch} x "
+          f"{max_new} tokens (draft depth {TUNED_DRAFT_DEPTH}) ===")
+    print(f"plain:       {result['tokens_per_s_plain']:8.1f} tok/s")
+    print(f"speculative: {result['tokens_per_s_speculative']:8.1f} tok/s")
+    print(f"speedup:     {result['speedup']:8.2f}x")
+    print(f"acceptance:  {result['acceptance_rate']:8.2f} "
+          f"({result['tokens_per_forward']:.1f} tokens/base-forward)")
+
+
+def run_gated(*, batch: int, max_new: int, reps: int, min_speedup: float,
+              pretrain_steps: int, distill_steps: int,
+              equivalence: bool, json_path: str | None,
+              label: str) -> int:
+    base, draft, _, prompts = build_pair(pretrain_steps=pretrain_steps,
+                                         distill_steps=distill_steps)
+    if equivalence:
+        failures = check_equivalence(
+            base, draft, prompts,
+            batch_sizes=(1, 4, 8), depths=(1, 3, TUNED_DRAFT_DEPTH),
+            policies=("max-prob", "entropy", "temperature", "top-k"),
+            max_new=16)
+        if failures:
+            print(f"FAIL: {failures} speculative configuration(s) diverged "
+                  f"from plain decoding")
+            return 1
+    result = timed_comparison(base, draft, prompts, batch=batch,
+                              max_new=max_new, reps=reps)
+    if result is None:
+        print("FAIL: speculative generations diverged during timing")
+        return 1
+    report(result, batch, max_new)
+    if json_path:
+        payload = {
+            "benchmark": "speculative",
+            "config": {"batch": batch, "tokens_per_answer": max_new,
+                       "model": "phi-2-sim",
+                       "draft_depth": TUNED_DRAFT_DEPTH,
+                       "threshold": TUNED_THRESHOLD,
+                       "distill_steps": distill_steps, "reps": reps,
+                       "mode": label},
+            **result,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {json_path}")
+    if result["speedup"] < min_speedup:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below required "
+              f"{min_speedup}x")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: equivalence matrix plus the batch-8 "
+                             "speedup requirement")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced timing run (CI perf artifact)")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="concurrent sequences in the decode batch")
+    parser.add_argument("--tokens", type=int, default=48,
+                        help="tokens generated per sequence")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="required speculative-vs-plain tokens/s ratio")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_gated(batch=8, max_new=32, reps=9,
+                         min_speedup=args.min_speedup,
+                         pretrain_steps=200, distill_steps=900,
+                         equivalence=True, json_path=args.json,
+                         label="smoke")
+    if args.quick:
+        return run_gated(batch=min(args.batch, 8),
+                         max_new=min(args.tokens, 32), reps=5,
+                         min_speedup=args.min_speedup,
+                         pretrain_steps=200, distill_steps=900,
+                         equivalence=False, json_path=args.json,
+                         label="quick")
+    return run_gated(batch=args.batch, max_new=args.tokens, reps=11,
+                     min_speedup=args.min_speedup,
+                     pretrain_steps=200, distill_steps=900,
+                     equivalence=True, json_path=args.json, label="full")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ baseline entries), 1 otherwise.
     python -m repro.analysis --output out.json   # also write the JSON
     python -m repro.analysis --baseline update   # re-absorb today's
                                                  # findings into baseline
+    python -m repro.analysis --catalog           # docs/analysis.md source
 """
 
 from __future__ import annotations
@@ -43,7 +44,15 @@ def main(argv: list[str] | None = None) -> int:
                         default=_engine.DEFAULT_BASELINE,
                         help="baseline JSON path (default: the checked-in "
                              "analysis/baseline.json)")
+    parser.add_argument("--catalog", action="store_true",
+                        help="print the markdown rule catalog (the source "
+                             "of docs/analysis.md) and exit")
     args = parser.parse_args(argv)
+
+    if args.catalog:
+        from .catalog import render_catalog
+        print(render_catalog(), end="")
+        return 0
 
     baseline = _engine.load_baseline(args.baseline_file)
     report = _engine.run_analysis(args.root, baseline=baseline)

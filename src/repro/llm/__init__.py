@@ -24,6 +24,13 @@ from .registry import (
     load_pretrained_model,
     register_model,
 )
+from .speculative import (
+    CONFIDENCE_POLICIES,
+    SpeculativeDecoder,
+    build_draft_model,
+    distill_draft,
+    draft_spec,
+)
 from .tokenizer import BOS, EOS, PAD, SEP, UNK, Tokenizer
 from .transformer import LMConfig, TinyCausalLM, TransformerBlock
 
@@ -38,4 +45,6 @@ __all__ = [
     "EdgeModelSpec", "MODEL_REGISTRY", "available_models",
     "build_model", "load_pretrained_model", "clear_model_cache",
     "register_model",
+    "CONFIDENCE_POLICIES", "SpeculativeDecoder", "draft_spec",
+    "build_draft_model", "distill_draft",
 ]

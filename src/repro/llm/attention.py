@@ -208,6 +208,125 @@ class MultiHeadSelfAttention(Module):
                   .reshape(batch, length, self.d_model))
         return self.out_proj(Tensor(merged)), present
 
+    def decode_span_step(
+        self,
+        x: Tensor,
+        past: Sequence[KVPrefix],
+        spans: Sequence[int],
+        prefix_kv: Sequence[KVPrefix | None] | None = None,
+    ) -> tuple[Tensor, list[KVPrefix]]:
+        """Ragged multi-position decode over ``B`` independent sequences.
+
+        The speculative-verify generalisation of :meth:`decode_step`:
+        sequence ``s`` contributes ``spans[s] >= 1`` *new* positions, laid
+        out contiguously in ``x`` of shape ``(sum(spans), 1, d_model)`` —
+        every new position occupies its own batch slice of length 1, so
+        the stacked projections evaluate slice-by-slice exactly as the
+        single-token path does.  The attention core runs per *position*
+        over that sequence's compact cache plus the earlier positions of
+        its own span (causality inside the span), mirroring the operation
+        sequence of :meth:`decode_step` bit for bit.  Every output row is
+        therefore bit-identical to stepping that sequence one token at a
+        time through :meth:`decode_step` — the property that makes
+        speculative greedy decoding token-identical to the sequential
+        reference rather than merely close.
+
+        Returns ``(out, present)`` with ``out`` shaped like ``x`` and
+        ``present[s]`` extending ``past[s]`` by all ``spans[s]`` positions
+        (the caller truncates rejected suffixes via
+        :meth:`~repro.llm.kv_cache.KVCache.truncate`).
+        """
+        batch, length, _ = x.shape
+        if length != 1:
+            raise ValueError(
+                f"decode_span_step stacks positions on the batch axis, "
+                f"got length {length}"
+            )
+        spans = [int(span) for span in spans]
+        if any(span < 1 for span in spans):
+            raise ValueError(f"spans must be >= 1, got {spans}")
+        if sum(spans) != batch:
+            raise ValueError(
+                f"spans {spans} cover {sum(spans)} rows for {batch} inputs"
+            )
+        if len(past) != len(spans):
+            raise ValueError(
+                f"{len(past)} past caches for {len(spans)} spans"
+            )
+        if prefix_kv is not None and len(prefix_kv) != len(spans):
+            raise ValueError(
+                f"{len(prefix_kv)} prefixes for {len(spans)} spans"
+            )
+        q = self._split_heads(self.q_proj(x), batch, length)
+        k = self._split_heads(self.k_proj(x), batch, length)
+        v = self._split_heads(self.v_proj(x), batch, length)
+        q_data, k_data, v_data = q.data, k.data, v.data
+        scale = np.float32(1.0 / np.sqrt(self.d_head))
+
+        contexts = np.empty((batch, self.n_heads, 1, self.d_head),
+                            dtype=q_data.dtype)
+        present: list[KVPrefix] = []
+        row = 0
+        for s, span in enumerate(spans):
+            past_k, past_v = past[s]
+            self._check_kv(past_k, past_v, "past")
+            past_len = past_k.shape[2]
+            prefix = None
+            prefix_len = 0
+            if prefix_kv is not None and prefix_kv[s] is not None:
+                prefix = prefix_kv[s]
+                self._check_kv(prefix[0], prefix[1], "prefix")
+                prefix_len = prefix[0].shape[2]
+            # One buffer per sequence instead of per-row concatenation:
+            # row ``i`` attends over the slice [:, :, :prefix+past+i+1, :],
+            # whose per-head 2-D blocks have exactly the values *and*
+            # memory layout (row stride d_head) of the freshly
+            # concatenated array decode_step would build — the matmul
+            # inputs, hence outputs, stay bitwise those of the
+            # one-token-at-a-time path, while the O(T) copy of the past
+            # is paid once per sequence instead of once per row.
+            base_at = prefix_len + past_len
+            total = base_at + span
+            buf_k = np.empty((1, self.n_heads, total, self.d_head),
+                             dtype=k_data.dtype)
+            buf_v = np.empty_like(buf_k)
+            if prefix is not None:
+                buf_k[:, :, :prefix_len] = prefix[0].data
+                buf_v[:, :, :prefix_len] = prefix[1].data
+            buf_k[:, :, prefix_len:base_at] = past_k.data
+            buf_v[:, :, prefix_len:base_at] = past_v.data
+            buf_k[0, :, base_at:] = \
+                k_data[row:row + span, :, 0, :].transpose(1, 0, 2)
+            buf_v[0, :, base_at:] = \
+                v_data[row:row + span, :, 0, :].transpose(1, 0, 2)
+            for i in range(span):
+                at = base_at + i
+                attn_keys = buf_k[:, :, :at + 1]
+                attn_values = buf_v[:, :, :at + 1]
+                scores = np.matmul(q_data[row:row + 1],
+                                   attn_keys.swapaxes(-1, -2)) * scale
+                # All-visible: one new query position sees the prefix,
+                # the cache, and its span predecessors (already in the
+                # buffer); the inline softmax mirrors ag.softmax's exact
+                # operation sequence, as in decode_step.
+                scores -= scores.max(axis=-1, keepdims=True)
+                np.exp(scores, out=scores)
+                scores /= scores.sum(axis=-1, keepdims=True)
+                np.matmul(scores, attn_values, out=contexts[row:row + 1])
+                row += 1
+            if prefix is None:
+                # The buffer is exactly the extended cache — no copy.
+                present.append((Tensor(buf_k), Tensor(buf_v)))
+            else:
+                present.append(
+                    (Tensor(np.ascontiguousarray(buf_k[:, :, prefix_len:])),
+                     Tensor(np.ascontiguousarray(buf_v[:, :, prefix_len:]))))
+
+        merged = (contexts
+                  .transpose(0, 2, 1, 3)
+                  .reshape(batch, length, self.d_model))
+        return self.out_proj(Tensor(merged)), present
+
     @staticmethod
     def _causal_mask(length: int, prefix_len: int,
                      past_len: int = 0) -> np.ndarray:

@@ -303,10 +303,12 @@ class DecodeSequence:
     """
 
     __slots__ = ("state", "config", "cache", "generated", "finished",
-                 "finish_reason", "deadline", "_rng", "_total", "_budget")
+                 "finish_reason", "deadline", "prompt_ids", "draft_cache",
+                 "draft_len", "_rng", "_total", "_budget")
 
     def __init__(self, state: PrefillState, config: GenerationConfig,
-                 budget: int, deadline: float | None = None):
+                 budget: int, deadline: float | None = None,
+                 prompt_ids: np.ndarray | None = None):
         self.state = state
         self.config = config
         self.cache = state.cache
@@ -318,6 +320,18 @@ class DecodeSequence:
         # default) never expires, so deadline-free serving stays exactly the
         # deterministic reference path.
         self.deadline = deadline
+        # The raw prompt token ids, when the admitter knows them.  The
+        # KV cache only stores keys/values, so a draft model cannot
+        # reconstruct the context from it; speculative decoding needs the
+        # ids to feed its own (smaller) model.  None disables drafting
+        # for this sequence — it still decodes normally.
+        self.prompt_ids = (None if prompt_ids is None else
+                           np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+        # Draft-model decode state, owned by SpeculativeDecoder: a KVCache
+        # over the draft model covering the first ``draft_len`` tokens of
+        # ``context_ids()``.
+        self.draft_cache: KVCache | None = None
+        self.draft_len = 0
         self._rng = rng_from_seed(config.seed)
         self._total = state.n_tokens
         self._budget = budget
@@ -329,6 +343,18 @@ class DecodeSequence:
     def token_ids(self) -> np.ndarray:
         """The tokens generated so far (all of them, once finished)."""
         return np.asarray(self.generated, dtype=np.int64)
+
+    def context_ids(self) -> np.ndarray:
+        """Prompt plus generated ids — the draft model's view of the text.
+
+        Only available when the sequence was admitted with ``prompt_ids``;
+        soft-prompt rows and KV prefixes are deliberately absent (they are
+        base-model conditioning the draft model cannot consume).
+        """
+        if self.prompt_ids is None:
+            raise ValueError("sequence was admitted without prompt_ids")
+        return np.concatenate([
+            self.prompt_ids, np.asarray(self.generated, dtype=np.int64)])
 
     # -- internal ------------------------------------------------------
     def _finish(self, reason: str) -> None:
@@ -375,14 +401,27 @@ class DecodeScheduler:
     what :func:`decode_from` would produce from the same state — greedy
     and seeded sampling alike — because the batched forward is bit-exact
     per sequence and every sequence keeps a private rng stream.
+
+    A :class:`~repro.llm.speculative.SpeculativeDecoder` may be attached
+    at construction: rounds then draft several tokens per sequence with a
+    small model and verify them in one forward of ``model``
+    (token-identical for greedy sequences, plain rounds for the rest).
+    ``speculative=None`` is the sequential-reference path, byte-for-byte
+    the pre-speculation behaviour.
     """
 
-    def __init__(self, model: TinyCausalLM):
+    def __init__(self, model: TinyCausalLM, *, speculative=None):
         self.model = model
+        self.speculative = speculative
         self._active: list[DecodeSequence] = []
         self.rounds = 0
         self.tokens_emitted = 0
         self.occupancy_sum = 0   # sum over rounds of sequences per round
+        self.forwards = 0        # base-model decode forwards (verify included)
+        self.spec_rounds = 0     # rounds in which at least one token drafted
+        self.draft_forwards = 0  # draft-model forwards (prefill/catch-up/step)
+        self.draft_proposed = 0  # tokens proposed by the draft model
+        self.draft_accepted = 0  # proposed tokens the base model confirmed
 
     # ------------------------------------------------------------------
     @property
@@ -396,6 +435,7 @@ class DecodeScheduler:
     def admit(self, state: PrefillState,
               config: GenerationConfig = GenerationConfig(),
               *, deadline: float | None = None,
+              prompt_ids: np.ndarray | None = None,
               ) -> DecodeSequence:
         """Add one prefilled sequence to the in-flight batch.
 
@@ -406,6 +446,10 @@ class DecodeScheduler:
         how long the sequence may stay in flight: a round that starts
         after the deadline retires it with whatever tokens it has, the
         serving building block for per-request latency SLOs.
+        ``prompt_ids`` (the raw prompt tokens) makes the sequence eligible
+        for speculative drafting when the scheduler has a
+        :class:`~repro.llm.speculative.SpeculativeDecoder`; it is inert
+        otherwise.
         """
         if state.cache.batch_size != 1:
             raise ValueError(
@@ -413,7 +457,8 @@ class DecodeScheduler:
                 f"{state.cache.batch_size}"
             )
         budget = self.model.config.max_seq_len - state.virtual_len
-        sequence = DecodeSequence(state, config, budget, deadline)
+        sequence = DecodeSequence(state, config, budget, deadline,
+                                  prompt_ids=prompt_ids)
         if sequence._total >= budget:
             sequence._finish("context")   # prefill() normally rejects this
         else:
@@ -458,15 +503,24 @@ class DecodeScheduler:
         return len(expired)
 
     def decode_round(self) -> DecodeRoundReport:
-        """Advance every in-flight sequence by one token (one forward).
+        """Advance every in-flight sequence by at least one token.
 
         Sequences past their deadline are retired *before* the forward
         (they neither occupy a batch slot nor consume compute this round).
+        With a speculative decoder attached the round drafts and verifies
+        several tokens per sequence; otherwise it is exactly one batched
+        single-token forward.
         """
         n_expired = self.expire_deadlines()
-        active = self._active
-        if not active:
+        if not self._active:
             return DecodeRoundReport(0, 0, n_expired, n_expired=n_expired)
+        if self.speculative is not None:
+            return self.speculative.advance(self, n_expired)
+        return self._plain_round(n_expired)
+
+    def _plain_round(self, n_expired: int) -> DecodeRoundReport:
+        """The sequential-reference round: one token per sequence."""
+        active = self._active
         model = self.model
         tokens = np.array([seq.generated[-1] for seq in active],
                           dtype=np.int64)
@@ -492,6 +546,7 @@ class DecodeScheduler:
         self._active = [seq for seq in active if not seq.finished]
         retired = len(active) - len(self._active)
         self.rounds += 1
+        self.forwards += 1
         self.tokens_emitted += emitted
         self.occupancy_sum += len(active)
         return DecodeRoundReport(tokens_emitted=emitted,

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..ag import Tensor
 from .attention import KVPrefix
 
 __all__ = ["KVCache", "BatchedKVCache"]
@@ -71,6 +72,39 @@ class KVCache:
         """Approximate cache footprint (for serving telemetry)."""
         return sum(kv[0].data.nbytes + kv[1].data.nbytes
                    for kv in self._layers)
+
+    def truncate(self, length: int, *, copy: bool = True) -> "KVCache":
+        """A new cache covering only the first ``length`` positions.
+
+        This is the rollback primitive of speculative decoding: a verify
+        forward extends the cache with every *drafted* position, and the
+        rejected suffix is discarded by truncating back to the accepted
+        length.  The original cache is untouched (value-immutability is
+        the contract everything else relies on).  With ``copy=True`` the
+        kept rows are copied so the truncated cache never pins the
+        rejected tensors alive; ``copy=False`` returns zero-copy views
+        for hot paths that drop the source within a round anyway (the
+        rejected tail is at most a few positions, so pinning it costs
+        almost nothing).
+        """
+        if not 1 <= length <= self.seq_len:
+            raise ValueError(
+                f"cannot truncate a {self.seq_len}-position cache to "
+                f"{length} positions"
+            )
+        if length == self.seq_len:
+            return self
+        if copy:
+            return KVCache([
+                (Tensor(np.ascontiguousarray(k.data[:, :, :length, :])),
+                 Tensor(np.ascontiguousarray(v.data[:, :, :length, :])))
+                for k, v in self._layers
+            ])
+        return KVCache([
+            (Tensor(k.data[:, :, :length, :]),
+             Tensor(v.data[:, :, :length, :]))
+            for k, v in self._layers
+        ])
 
     def __len__(self) -> int:
         return self.n_layers

@@ -1,0 +1,663 @@
+"""Speculative draft-verify decoding (ROADMAP item 1).
+
+The continuous-batching round advances every sequence by exactly one
+token per base-model forward.  Speculative decoding breaks that coupling:
+a *draft* model — a shallower/narrower :class:`TinyCausalLM` sharing the
+tokenizer, typically built by :func:`build_draft_model` and distilled on
+base-model output by :func:`distill_draft` — proposes up to ``k`` tokens
+per sequence per round, and the base model verifies all of them in **one**
+ragged forward (:meth:`TinyCausalLM.decode_span`).  Accepted tokens cost
+a fraction of a forward each; the first mismatch is repaired for free,
+because the verify logits at the mismatching position are exactly the
+logits greedy decoding needed anyway.
+
+Token-identity, not approximation
+---------------------------------
+For greedy sequences (``temperature == 0``) the output is *bit-for-bit*
+the sequential reference: every verify logits row is computed as its own
+batch-of-one slice over that sequence's compact cache (see
+``decode_span``), so the accept/reject comparison reproduces exactly the
+tokens ``DecodeScheduler`` would have emitted one round at a time.  The
+draft model only ever chooses *which* positions get pre-computed — never
+what token is emitted.  Sampled sequences (``temperature > 0``) and
+sequences admitted without ``prompt_ids`` fall back to a plain
+single-token row inside the same round, private rng streams untouched.
+
+Confidence policies
+-------------------
+How many tokens to draft is a per-sequence, per-step decision made by a
+*confidence policy* — a function of the draft model's logits registered
+in :data:`CONFIDENCE_POLICIES` (max-prob, entropy, temperature-scaled,
+top-k aggregate, after CECOFramework's F1/F2 confidence strategies).
+Drafting continues while the policy's confidence stays at or above the
+decoder's threshold, up to ``max_draft`` and the sequence's remaining
+token budget.
+
+Cache accounting
+----------------
+The verify forward extends each sequence's base-model cache with every
+fed position; the rejected suffix is rolled back with
+:meth:`KVCache.truncate`, landing on exactly the cache the sequential
+path would hold.  The draft model keeps its own per-sequence cache
+(``DecodeSequence.draft_cache``) over the raw token stream, truncated to
+the accepted prefix after every round and caught up at the start of the
+next.
+
+The draft fast path
+-------------------
+Because the draft only chooses *which* tokens to pre-compute, its
+forwards need to be deterministic but not bit-identical to the serving
+model's per-row reference path.  :class:`_FastDraft` exploits that: it
+runs the draft's weights through a plain-numpy, fully vectorised
+inference loop (padded batched attention, no autograd graph), which is
+several times cheaper than ``decode_round`` at the batch sizes drafting
+sees.  Token-identity of the *output* is untouched — the base model's
+verify forward still runs the bit-exact ``decode_span``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ag import Tensor, no_grad
+from ..utils import Registry
+from .generation import (DecodeRoundReport, DecodeScheduler, DecodeSequence,
+                         GenerationConfig, generate)
+from .kv_cache import BatchedKVCache, KVCache
+from .pretrain import PretrainConfig, pretrain_lm
+from .registry import (EdgeModelSpec, MODEL_REGISTRY, build_model,
+                       register_model)
+from .transformer import TinyCausalLM
+
+__all__ = ["CONFIDENCE_POLICIES", "SpeculativeDecoder", "draft_spec",
+           "build_draft_model", "distill_draft", "max_prob_confidence",
+           "entropy_confidence", "temperature_confidence",
+           "top_k_confidence"]
+
+
+# ----------------------------------------------------------------------
+# Confidence policies
+# ----------------------------------------------------------------------
+CONFIDENCE_POLICIES: Registry = Registry("confidence policy")
+
+
+def _softmax64(logits: np.ndarray) -> np.ndarray:
+    """Probabilities in float64 (confidence is a heuristic, not a hot path)."""
+    scaled = logits.astype(np.float64) - float(logits.max())
+    probs = np.exp(scaled)
+    probs /= probs.sum()
+    return probs
+
+
+@CONFIDENCE_POLICIES.register("max-prob")
+def max_prob_confidence(logits: np.ndarray, **_params) -> float:
+    """Probability mass on the argmax token (CECO F1)."""
+    return float(_softmax64(logits).max())
+
+
+@CONFIDENCE_POLICIES.register("entropy")
+def entropy_confidence(logits: np.ndarray, **_params) -> float:
+    """1 - normalized entropy: 1.0 for a one-hot, 0.0 for uniform."""
+    probs = _softmax64(logits)
+    nonzero = probs[probs > 0.0]
+    entropy = float(-(nonzero * np.log(nonzero)).sum())
+    return 1.0 - entropy / float(np.log(probs.size))
+
+
+@CONFIDENCE_POLICIES.register("temperature")
+def temperature_confidence(logits: np.ndarray, *, temperature: float = 2.0,
+                           **_params) -> float:
+    """Max probability after temperature flattening — a harsher max-prob.
+
+    Dividing logits by ``temperature > 1`` flattens the distribution, so
+    only sharply peaked draft distributions keep a high max; near-ties
+    are punished harder than raw max-prob punishes them.
+    """
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive")
+    return float(_softmax64(logits / np.float64(temperature)).max())
+
+
+@CONFIDENCE_POLICIES.register("top-k")
+def top_k_confidence(logits: np.ndarray, *, k: int = 4, **_params) -> float:
+    """Aggregate mass of the top-k tokens, scaled by the leader's share.
+
+    High when the distribution concentrates on a few candidates *and*
+    the leader dominates them (CECO F2's aggregate variant): the top-k
+    mass times the fraction of it held by the argmax.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    probs = _softmax64(logits)
+    top = np.sort(probs)[-int(k):]
+    mass = float(top.sum())
+    return mass * (float(top[-1]) / mass)
+
+
+# ----------------------------------------------------------------------
+# Draft model construction and distillation
+# ----------------------------------------------------------------------
+def draft_spec(base: EdgeModelSpec) -> EdgeModelSpec:
+    """A roughly half-width, half-depth spec derived from ``base``.
+
+    Width is halved to the nearest multiple of ``n_heads`` (head count is
+    kept, so attention shapes stay valid); depth and FF width are halved
+    with a floor of one layer.  The seed is offset so draft weights never
+    coincide with base weights.
+    """
+    d_model = max(base.n_heads,
+                  (base.d_model // 2 // base.n_heads) * base.n_heads)
+    return EdgeModelSpec(
+        name=f"{base.name}-draft",
+        paper_model=f"{base.paper_model} (draft)",
+        d_model=d_model,
+        n_heads=base.n_heads,
+        n_layers=max(1, base.n_layers // 2),
+        d_ff=max(base.n_heads, base.d_ff // 2),
+        quantize_bits=None,
+        base_seed=base.base_seed + 1,
+    )
+
+
+def build_draft_model(base_name: str, vocab_size: int, *,
+                      seed: int | None = None,
+                      max_seq_len: int = 256) -> TinyCausalLM:
+    """Build (and register) the draft companion of a registry model.
+
+    The derived spec is registered as ``"{base_name}-draft"`` so the rest
+    of the zoo machinery (``available_models``, ``load_pretrained_model``)
+    sees it like any other architecture; re-building refreshes the entry.
+    """
+    spec = draft_spec(MODEL_REGISTRY[base_name])
+    register_model(spec, overwrite=True)
+    return build_model(spec.name, vocab_size, seed=seed,
+                       max_seq_len=max_seq_len)
+
+
+def distill_draft(
+    draft_model: TinyCausalLM,
+    base_model: TinyCausalLM,
+    prompts: Sequence[np.ndarray],
+    *,
+    max_new_tokens: int = 32,
+    pretrain: PretrainConfig | None = None,
+) -> list[float]:
+    """Train the draft to imitate the base model's greedy continuations.
+
+    Acceptance rate — not language quality — is what pays for drafting,
+    so the draft is trained on exactly the distribution it must predict:
+    the base model's own greedy output from representative prompts.  Each
+    prompt is continued greedily by the base model, prompt and
+    continuation are concatenated into one token stream, and the draft is
+    pretrained on next-token prediction over it.  Returns the loss curve.
+    """
+    pieces: list[np.ndarray] = []
+    config = GenerationConfig(max_new_tokens=max_new_tokens, temperature=0.0)
+    for prompt in prompts:
+        ids = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        continuation = generate(base_model, ids, config)
+        pieces.append(ids)
+        if continuation.size:
+            pieces.append(continuation)
+    stream = np.concatenate(pieces)
+    return pretrain_lm(draft_model, stream, pretrain or PretrainConfig())
+
+
+# ----------------------------------------------------------------------
+# The draft fast path
+# ----------------------------------------------------------------------
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+_GELU_COEFF = np.float32(0.044715)
+_NEG_INF = np.float32(-1e9)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    """GPT-2 tanh-approximation GELU (same formula as :func:`ag.gelu`)."""
+    inner = _SQRT_2_OVER_PI * (x + _GELU_COEFF * (x * x * x))
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def _layer_norm(x: np.ndarray, layer) -> np.ndarray:
+    """Numpy mirror of :class:`ag.LayerNorm` in eval mode."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered * (var + layer.eps) ** -0.5
+    return normed * layer.weight.data + layer.bias.data
+
+
+def _softmax_inplace(scores: np.ndarray) -> np.ndarray:
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return scores
+
+
+class _FastDraft:
+    """Vectorised numpy inference over a draft :class:`TinyCausalLM`.
+
+    Proposals only need to be *deterministic* — the base model's verify
+    forward decides every emitted token — so this path trades the
+    serving model's per-row bit-exact attention for padded whole-batch
+    matmuls and skips the autograd graph entirely.  Weights are read
+    from the live module on every call, so distilling the draft after
+    constructing the decoder Just Works.
+
+    Caches are ordinary :class:`KVCache` objects (batch 1), which keeps
+    ``truncate``-based rollback identical to the base model's.
+    """
+
+    __slots__ = ("model",)
+
+    def __init__(self, model: TinyCausalLM):
+        self.model = model
+
+    # -- single sequence: prefill or ragged catch-up -------------------
+    def extend(self, ids: np.ndarray,
+               cache: KVCache | None) -> tuple[np.ndarray, KVCache]:
+        """Feed ``ids`` on top of ``cache``; return (last logits, cache).
+
+        Handles both the first-contact prefill (``cache is None``) and
+        the per-round catch-up over the rejected-then-repaired span;
+        positions within ``ids`` attend causally.
+        """
+        model = self.model
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        past_len = 0 if cache is None else cache.seq_len
+        length = ids.size
+        x = (model.token_embedding.weight.data[ids]
+             + model.position_embedding.weight.data[past_len:past_len + length])
+        layers: list[tuple[Tensor, Tensor]] = []
+        for index, block in enumerate(model.blocks):
+            attn = block.attn
+            n_heads, d_head = attn.n_heads, attn.d_head
+            h = _layer_norm(x, block.ln1)
+            q = (h @ attn.q_proj.weight.data + attn.q_proj.bias.data)
+            k = (h @ attn.k_proj.weight.data + attn.k_proj.bias.data)
+            v = (h @ attn.v_proj.weight.data + attn.v_proj.bias.data)
+            q = q.reshape(length, n_heads, d_head).transpose(1, 0, 2)
+            k = k.reshape(length, n_heads, d_head).transpose(1, 0, 2)
+            v = v.reshape(length, n_heads, d_head).transpose(1, 0, 2)
+            if cache is not None:
+                past_k, past_v = cache.layer(index)
+                k = np.concatenate([past_k.data[0], k], axis=1)
+                v = np.concatenate([past_v.data[0], v], axis=1)
+            layers.append((Tensor(k[None]), Tensor(v[None])))
+            scale = np.float32(1.0 / np.sqrt(d_head))
+            scores = np.matmul(q, k.swapaxes(-1, -2)) * scale
+            if length > 1:
+                blocked = np.triu(
+                    np.ones((length, past_len + length), dtype=bool),
+                    k=past_len + 1)
+                scores = np.where(blocked, _NEG_INF, scores)
+            context = np.matmul(_softmax_inplace(scores), v)
+            merged = context.transpose(1, 0, 2).reshape(length,
+                                                        n_heads * d_head)
+            x = x + (merged @ attn.out_proj.weight.data
+                     + attn.out_proj.bias.data)
+            h = _layer_norm(x, block.ln2)
+            x = x + _gelu(h @ block.ff1.weight.data + block.ff1.bias.data) \
+                @ block.ff2.weight.data + block.ff2.bias.data
+        final = _layer_norm(x[-1:], model.ln_final)
+        logits = (final @ model.lm_head.weight.data)[0]
+        return logits, KVCache(layers)
+
+    # -- whole batch: the proposal loop --------------------------------
+    def begin_round(self, caches: Sequence[KVCache],
+                    max_steps: int) -> "_DraftRound":
+        """Open padded K/V buffers over ``caches`` for up to ``max_steps``
+        decode steps per sequence (see :class:`_DraftRound`)."""
+        return _DraftRound(self.model, caches, max_steps)
+
+
+class _DraftRound:
+    """Padded whole-batch K/V buffers for one round's proposal loop.
+
+    Built once per speculative round: every sequence's draft cache is
+    copied into a ``(B, n_heads, capacity, d_head)`` buffer per layer
+    with room for the round's decode steps.  Each :meth:`step` then runs
+    attention as two whole-batch matmuls over a masked window of the
+    buffers and writes the new key/value rows in place — no per-step
+    concatenation, padding rebuild or cache object churn.  When the
+    verify decides how much speculation survived, :meth:`cache_of`
+    carves a sequence's accepted prefix back out into a compact
+    :class:`KVCache`.
+    """
+
+    __slots__ = ("model", "lengths", "keys", "values")
+
+    def __init__(self, model: TinyCausalLM, caches: Sequence[KVCache],
+                 max_steps: int):
+        self.model = model
+        self.lengths = np.array([cache.seq_len for cache in caches],
+                                dtype=np.intp)
+        batch = len(caches)
+        capacity = int(self.lengths.max()) + max_steps
+        self.keys: list[np.ndarray] = []
+        self.values: list[np.ndarray] = []
+        for index, block in enumerate(model.blocks):
+            attn = block.attn
+            keys = np.zeros((batch, attn.n_heads, capacity, attn.d_head),
+                            dtype=np.float32)
+            values = np.zeros_like(keys)
+            for s, cache in enumerate(caches):
+                past_k, past_v = cache.layer(index)
+                keys[s, :, :past_k.shape[2]] = past_k.data[0]
+                values[s, :, :past_v.shape[2]] = past_v.data[0]
+            self.keys.append(keys)
+            self.values.append(values)
+
+    def step(self, tokens: Sequence[int],
+             rows: Sequence[int]) -> np.ndarray:
+        """Advance ``rows`` by one token each; logits (len(rows), vocab).
+
+        Rows not listed keep their length and buffer contents untouched,
+        so the still-drafting subset can shrink between steps.
+        """
+        model = self.model
+        rows_arr = np.asarray(rows, dtype=np.intp)
+        full = rows_arr.size == self.lengths.size
+        token_arr = np.asarray(tokens, dtype=np.int64)
+        positions = self.lengths[rows_arr]
+        x = (model.token_embedding.weight.data[token_arr]
+             + model.position_embedding.weight.data[positions])
+        self.lengths[rows_arr] = positions + 1
+        window = int(self.lengths.max())
+        blocked = (np.arange(window)[None, :]
+                   >= self.lengths[rows_arr, None])
+        for index, block in enumerate(model.blocks):
+            attn = block.attn
+            n_heads, d_head = attn.n_heads, attn.d_head
+            h = _layer_norm(x, block.ln1)
+            q = (h @ attn.q_proj.weight.data + attn.q_proj.bias.data)
+            k = (h @ attn.k_proj.weight.data + attn.k_proj.bias.data)
+            v = (h @ attn.v_proj.weight.data + attn.v_proj.bias.data)
+            q = q.reshape(rows_arr.size, n_heads, 1, d_head)
+            k = k.reshape(rows_arr.size, n_heads, d_head)
+            v = v.reshape(rows_arr.size, n_heads, d_head)
+            keys_buf, values_buf = self.keys[index], self.values[index]
+            keys_buf[rows_arr, :, positions] = k
+            values_buf[rows_arr, :, positions] = v
+            if full:
+                keys = keys_buf[:, :, :window]
+                values = values_buf[:, :, :window]
+            else:
+                keys = keys_buf[rows_arr][:, :, :window]
+                values = values_buf[rows_arr][:, :, :window]
+            scale = np.float32(1.0 / np.sqrt(d_head))
+            scores = np.matmul(q, keys.swapaxes(-1, -2)) * scale
+            scores = np.where(blocked[:, None, None, :], _NEG_INF, scores)
+            context = np.matmul(_softmax_inplace(scores), values)
+            merged = context.reshape(rows_arr.size, n_heads * d_head)
+            x = x + (merged @ attn.out_proj.weight.data
+                     + attn.out_proj.bias.data)
+            h = _layer_norm(x, block.ln2)
+            x = x + _gelu(h @ block.ff1.weight.data + block.ff1.bias.data) \
+                @ block.ff2.weight.data + block.ff2.bias.data
+        final = _layer_norm(x, model.ln_final)
+        return final @ model.lm_head.weight.data
+
+    def cache_of(self, row: int, length: int) -> KVCache:
+        """Sequence ``row``'s first ``length`` positions as a compact cache."""
+        layers = [
+            (Tensor(np.ascontiguousarray(keys[row:row + 1, :, :length])),
+             Tensor(np.ascontiguousarray(values[row:row + 1, :, :length])))
+            for keys, values in zip(self.keys, self.values)
+        ]
+        return KVCache(layers)
+
+
+# ----------------------------------------------------------------------
+# The decoder
+# ----------------------------------------------------------------------
+class _DraftState:
+    """Per-sequence working state inside one speculative round."""
+
+    __slots__ = ("index", "seq", "ctx_len", "cap", "row", "round", "fed",
+                 "logits")
+
+    def __init__(self, index: int, seq: DecodeSequence, ctx_len: int,
+                 cap: int):
+        self.index = index
+        self.seq = seq
+        self.ctx_len = ctx_len   # context tokens at round start
+        self.cap = cap           # most tokens worth drafting this round
+        self.row = 0             # row in the round's draft buffers
+        self.round = None        # the shared _DraftRound
+        self.fed = 0             # drafted tokens fed into the draft cache
+        self.logits = None       # draft logits after the last fed token
+
+
+class SpeculativeDecoder:
+    """Draft-verify engine pluggable into :class:`DecodeScheduler`.
+
+    Construct it once (it is stateless across rounds — all per-sequence
+    state lives on the sequences, all counters on the scheduler) and pass
+    it to ``DecodeScheduler(model, speculative=...)`` or
+    ``PromptServeEngine(..., speculative=...)``.  One instance may be
+    shared by many schedulers (the sharded engine does): the draft model
+    is pinned to eval mode here and only ever read afterwards.
+
+    Args:
+        draft_model: the proposer; must share the base model's tokenizer
+            (same vocabulary) — see :func:`build_draft_model`.
+        max_draft: hard ceiling on proposed tokens per sequence per round.
+        policy: name in :data:`CONFIDENCE_POLICIES`; decides, from the
+            draft logits, whether to keep drafting.
+        threshold: drafting continues while confidence >= threshold.
+        policy_params: extra keyword arguments for the policy (e.g.
+            ``{"temperature": 3.0}`` or ``{"k": 8}``).
+    """
+
+    def __init__(self, draft_model: TinyCausalLM, *, max_draft: int = 4,
+                 policy: str = "max-prob", threshold: float = 0.5,
+                 policy_params: dict | None = None):
+        if max_draft < 1:
+            raise ValueError("max_draft must be >= 1")
+        self.draft_model = draft_model
+        self.max_draft = int(max_draft)
+        self.policy_name = policy
+        self.policy = CONFIDENCE_POLICIES[policy]
+        self.threshold = float(threshold)
+        self.policy_params = dict(policy_params or {})
+        self._fast = _FastDraft(draft_model)
+        # Pinned: advance() never toggles train/eval, so sharing one
+        # decoder across concurrently-stepping schedulers is safe.
+        draft_model.eval()
+
+    # ------------------------------------------------------------------
+    def advance(self, scheduler: DecodeScheduler,
+                n_expired: int = 0) -> DecodeRoundReport:
+        """One speculative round over the scheduler's active sequences.
+
+        Called by :meth:`DecodeScheduler.decode_round` (deadline expiry
+        already done, at least one sequence active).  Drafts with the
+        small model, verifies everything in one base forward, absorbs the
+        longest accepted prefix per sequence plus the base model's own
+        next token, rolls caches back, and updates the scheduler's
+        counters exactly as a plain round would.
+        """
+        active = scheduler._active
+        proposals, states = self._propose(scheduler, active)
+        if not any(proposals):
+            # Nothing drafted (ineligible batch or low confidence): run
+            # the unmodified single-token reference round — but first
+            # commit any catch-up the draft buffers absorbed, so the
+            # draft caches stay aligned with their sequences.
+            for state in states:
+                if state.seq.draft_len < state.ctx_len:
+                    state.seq.draft_cache = state.round.cache_of(
+                        state.row, state.ctx_len)
+                    state.seq.draft_len = state.ctx_len
+            return scheduler._plain_round(n_expired)
+
+        spans = [
+            np.concatenate(([seq.generated[-1]],
+                            np.asarray(props, dtype=np.int64)))
+            for seq, props in zip(active, proposals)
+        ]
+        batched = BatchedKVCache.stack([seq.cache for seq in active])
+        prefixes = None
+        if any(seq.state.prefix_kv is not None for seq in active):
+            prefixes = [seq.state.prefix_kv for seq in active]
+        model = scheduler.model
+        was_training = model.training
+        if was_training:
+            model.eval()
+        try:
+            with no_grad():
+                logits, extended = model.decode_span(spans, batched,
+                                                     prefix_kvs=prefixes)
+        finally:
+            if was_training:
+                model.train()
+        scheduler.forwards += 1
+
+        logits_data = logits.data
+        emitted = 0
+        row = 0
+        accepted_by_index: dict[int, int] = {}
+        for i, (seq, cache) in enumerate(zip(active, extended.split())):
+            props = proposals[i]
+            old_len = seq.cache.seq_len
+            n_calls = 0
+            accepted = 0
+            for j in range(len(props) + 1):
+                landed = seq._absorb(logits_data[row + j, -1])
+                n_calls += 1
+                emitted += landed
+                matched = bool(landed) and j < len(props) \
+                    and seq.generated[-1] == props[j]
+                if matched:
+                    accepted += 1
+                if not matched or seq.finished:
+                    break
+            # The sequential path would have run n_calls one-token rounds,
+            # caching exactly the tokens it fed; everything further is the
+            # rejected speculation.  Views suffice: the source buffer is
+            # dropped next round and its tail is at most a few positions.
+            seq.cache = cache.truncate(old_len + n_calls, copy=False)
+            accepted_by_index[i] = accepted
+            row += len(props) + 1
+            if props:
+                scheduler.draft_proposed += len(props)
+                scheduler.draft_accepted += accepted
+
+        for state in states:
+            accepted = accepted_by_index[state.index]
+            keep = state.ctx_len + min(accepted, state.fed)
+            state.seq.draft_cache = state.round.cache_of(state.row, keep)
+            state.seq.draft_len = keep
+
+        scheduler._active = [seq for seq in active if not seq.finished]
+        retired = len(active) - len(scheduler._active)
+        scheduler.rounds += 1
+        scheduler.spec_rounds += 1
+        scheduler.tokens_emitted += emitted
+        scheduler.occupancy_sum += len(active)
+        return DecodeRoundReport(tokens_emitted=emitted,
+                                 n_active=len(active),
+                                 n_retired=retired + n_expired,
+                                 n_expired=n_expired)
+
+    # ------------------------------------------------------------------
+    def _propose(self, scheduler: DecodeScheduler,
+                 active: Sequence[DecodeSequence],
+                 ) -> tuple[list[list[int]], list[_DraftState]]:
+        """Draft up to ``max_draft`` tokens for every eligible sequence.
+
+        Returns per-sequence proposal lists (empty for ineligible or
+        low-confidence sequences) and the draft-cache working states to
+        be committed after verification.
+        """
+        draft = self.draft_model
+        proposals: list[list[int]] = [[] for _ in active]
+        states: list[_DraftState] = []
+        for i, seq in enumerate(active):
+            if seq.config.temperature != 0.0 or seq.prompt_ids is None:
+                continue   # token-identity only holds for greedy drafting
+            ctx_len = int(seq.prompt_ids.size) + len(seq.generated)
+            # Room caps: the verify feeds 1 + p base positions, drafting
+            # feeds up to ctx_len + p - 1 draft positions, and the
+            # sequence can absorb at most `remaining` more tokens (one of
+            # which is always the verify's own bonus/repair token).
+            base_room = scheduler.model.config.max_seq_len \
+                - seq.cache.seq_len - 1
+            remaining = min(seq.config.max_new_tokens - len(seq.generated),
+                            seq._budget - seq._total)
+            cap = min(self.max_draft, base_room, remaining - 1,
+                      draft.config.max_seq_len - ctx_len - 1)
+            if cap < 1:
+                continue
+            states.append(_DraftState(i, seq, ctx_len, cap))
+        if not states:
+            return proposals, states
+
+        fast = self._fast
+        # Catch-up, slow cases first: first-contact sequences feed their
+        # whole context, sequences that lagged through non-speculative
+        # rounds feed the missed span.  Both land on a cache covering the
+        # full context.
+        for state in states:
+            if state.seq.draft_cache is None \
+                    or state.ctx_len - state.seq.draft_len > 1:
+                span = state.seq.context_ids()[state.seq.draft_len:]
+                state.logits, cache = fast.extend(span,
+                                                  state.seq.draft_cache)
+                scheduler.draft_forwards += 1
+                state.seq.draft_cache = cache
+                state.seq.draft_len = state.ctx_len
+
+        # Open the round's padded buffers, then fold the common catch-up
+        # case — a returning sequence is exactly one token behind (the
+        # previous verify's bonus/repair token) — into the first step.
+        draft_round = fast.begin_round(
+            [state.seq.draft_cache for state in states], self.max_draft + 1)
+        returning: list[_DraftState] = []
+        for row, state in enumerate(states):
+            state.round = draft_round
+            state.row = row
+            if state.seq.draft_len < state.ctx_len:
+                returning.append(state)
+        if returning:
+            logits = draft_round.step(
+                [state.seq.generated[-1] for state in returning],
+                [state.row for state in returning])
+            scheduler.draft_forwards += 1
+            for j, state in enumerate(returning):
+                state.logits = logits[j]
+            # seq.draft_len intentionally still lags: the buffers are
+            # authoritative until advance() commits (or, on the
+            # no-proposal fallback, commits the catch-up alone).
+
+        # Draft loop: propose greedily while the confidence policy
+        # holds, advancing all still-drafting rows together.  Every
+        # proposed token is also fed (even the last one, whose logits go
+        # unused): that keeps ``fed == len(proposals)``, so the next
+        # round's catch-up is the single bonus/repair token again.
+        drafting = list(states)
+        for _ in range(self.max_draft):
+            feeders: list[_DraftState] = []
+            for state in drafting:
+                if len(proposals[state.index]) >= state.cap:
+                    continue
+                confidence = self.policy(state.logits,
+                                         **self.policy_params)
+                if confidence < self.threshold:
+                    continue
+                proposals[state.index].append(
+                    int(np.argmax(state.logits)))
+                feeders.append(state)
+            if not feeders:
+                break
+            step_logits = draft_round.step(
+                [proposals[state.index][-1] for state in feeders],
+                [state.row for state in feeders])
+            scheduler.draft_forwards += 1
+            for j, state in enumerate(feeders):
+                state.fed += 1
+                state.logits = step_logits[j]
+            drafting = feeders
+        return proposals, states

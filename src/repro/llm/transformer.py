@@ -103,6 +103,20 @@ class TransformerBlock(Module):
         x = x + self.drop(self.ff2(gelu(self.ff1(self.ln2(x)))))
         return x, present
 
+    def decode_span_step(
+        self,
+        x: Tensor,
+        past: Sequence[KVPrefix],
+        spans: Sequence[int],
+        prefix_kv: Sequence[KVPrefix | None] | None = None,
+    ) -> tuple[Tensor, list[KVPrefix]]:
+        """One ragged multi-position decode round (see attention)."""
+        attended, present = self.attn.decode_span_step(self.ln1(x), past,
+                                                       spans, prefix_kv)
+        x = x + attended
+        x = x + self.drop(self.ff2(gelu(self.ff1(self.ln2(x)))))
+        return x, present
+
 
 class TinyCausalLM(Module):
     """A small decoder-only LM with soft-prompt and KV-prefix hooks."""
@@ -278,6 +292,97 @@ class TinyCausalLM(Module):
                 prefix_i = [None if p is None else p[i] for p in prefix_kvs]
             x, layer_present = block.decode_step(x, cache.layer_slices(i),
                                                  prefix_i)
+            present_layers.append(layer_present)
+        logits = self.lm_head(self.ln_final(x))
+        new_caches = [
+            KVCache([layer[s] for layer in present_layers])
+            for s in range(cache.batch_size)
+        ]
+        return logits, BatchedKVCache(new_caches)
+
+    # ------------------------------------------------------------------
+    def decode_span(
+        self,
+        token_spans: Sequence[np.ndarray],
+        cache: BatchedKVCache,
+        *,
+        prefix_kvs: Sequence[list[KVPrefix] | None] | None = None,
+    ) -> tuple[Tensor, BatchedKVCache]:
+        """Advance ``B`` sequences by a ragged number of tokens each.
+
+        The verify forward of speculative decoding: sequence ``s`` feeds
+        ``token_spans[s]`` (its last accepted token followed by the
+        drafted continuation) and gets back one logits row per fed token.
+        Every new position occupies its own batch-of-one slice, so each
+        row of the result is bit-identical to advancing that sequence
+        one token at a time through :meth:`decode_round` — speculative
+        acceptance decisions therefore reproduce sequential greedy
+        decoding exactly instead of approximately.
+
+        Args:
+            token_spans: per-sequence 1-D arrays of token ids, each of
+                length >= 1 (length 1 degenerates to a plain
+                :meth:`decode_round` row).
+            cache: each sequence's cached positions (ragged lengths).
+            prefix_kvs: optional per-sequence trained KV prefixes,
+                re-attached every round exactly as ``forward`` does.
+
+        Returns:
+            ``(logits, cache)`` where ``logits`` is (sum(spans), 1,
+            vocab) — rows in sequence order, positions within a sequence
+            contiguous — and the new cache extends sequence ``s`` by
+            ``len(token_spans[s])`` positions.  The caller rolls back
+            rejected suffixes with :meth:`KVCache.truncate
+            <repro.llm.kv_cache.KVCache.truncate>`.
+        """
+        spans = [np.asarray(span, dtype=np.int64).reshape(-1)
+                 for span in token_spans]
+        if any(span.size == 0 for span in spans):
+            raise ValueError("every token span must hold at least one token")
+        if cache.n_layers != len(self.blocks):
+            raise ValueError(
+                f"cache has {cache.n_layers} layers for "
+                f"{len(self.blocks)} blocks"
+            )
+        if len(spans) != cache.batch_size:
+            raise ValueError(
+                f"{len(spans)} token spans for "
+                f"{cache.batch_size} cached sequences"
+            )
+        if prefix_kvs is not None:
+            if len(prefix_kvs) != cache.batch_size:
+                raise ValueError(
+                    f"{len(prefix_kvs)} prefix entries for "
+                    f"{cache.batch_size} sequences"
+                )
+            for prefix in prefix_kvs:
+                if prefix is not None and len(prefix) != len(self.blocks):
+                    raise ValueError(
+                        f"prefix_kv has {len(prefix)} entries for "
+                        f"{len(self.blocks)} layers"
+                    )
+        lengths = cache.lengths
+        span_lens = [span.size for span in spans]
+        for s, span_len in enumerate(span_lens):
+            if int(lengths[s]) + span_len > self.config.max_seq_len:
+                raise ValueError(
+                    f"a sequence of {int(lengths[s]) + span_len} exceeds "
+                    f"max_seq_len={self.config.max_seq_len}"
+                )
+        ids = np.concatenate(spans)
+        positions = np.concatenate([
+            np.arange(lengths[s], lengths[s] + span_lens[s], dtype=np.int64)
+            for s in range(cache.batch_size)
+        ])
+        x = (self.token_embedding(ids[:, None])
+             + self.position_embedding(positions[:, None]))
+        present_layers: list[list[KVPrefix]] = []
+        for i, block in enumerate(self.blocks):
+            prefix_i = None
+            if prefix_kvs is not None:
+                prefix_i = [None if p is None else p[i] for p in prefix_kvs]
+            x, layer_present = block.decode_span_step(
+                x, cache.layer_slices(i), span_lens, prefix_i)
             present_layers.append(layer_present)
         logits = self.lm_head(self.ln_final(x))
         new_caches = [

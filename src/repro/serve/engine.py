@@ -125,7 +125,8 @@ class PromptServeEngine:
                  max_sessions: int = 8,
                  max_pending: int | None = None,
                  session_store: SessionStore | None = None,
-                 snapshot_mode: str = "raw"):
+                 snapshot_mode: str = "raw",
+                 speculative=None):
         if max_sessions <= 0:
             raise ValueError("max_sessions must be positive")
         if max_pending is not None and max_pending <= 0:
@@ -172,10 +173,16 @@ class PromptServeEngine:
         # read from yet another.  Rounds hold the lock for one batched
         # forward, so readers see consistent counters, never torn state.
         self._lock = threading.RLock()
+        # Optional draft-verify decoding: a SpeculativeDecoder (see
+        # repro.llm.speculative) makes every decode round draft several
+        # tokens per greedy sequence with a small model and verify them in
+        # one base forward.  None is the sequential reference; answers are
+        # token-identical either way, only forward counts change.
+        self.speculative = speculative
         # One continuous-batching decoder for the engine's lifetime: its
         # round/token/occupancy counters are the serving telemetry, and
         # pending generations from different calls share rounds.
-        self._scheduler = DecodeScheduler(model)
+        self._scheduler = DecodeScheduler(model, speculative=speculative)
         self._pending: list[PendingQuery] = []
 
     # ------------------------------------------------------------------
@@ -391,6 +398,17 @@ class PromptServeEngine:
                                      if rounds else 0.0),
                 "batch_occupancy": (scheduler.occupancy_sum / rounds
                                     if rounds else 0.0),
+                "decode_forwards": scheduler.forwards,
+                "spec_rounds": scheduler.spec_rounds,
+                "draft_forwards": scheduler.draft_forwards,
+                "draft_proposed_tokens": scheduler.draft_proposed,
+                "draft_accepted_tokens": scheduler.draft_accepted,
+                "tokens_per_forward": (
+                    scheduler.tokens_emitted / scheduler.forwards
+                    if scheduler.forwards else 0.0),
+                "draft_acceptance_rate": (
+                    scheduler.draft_accepted / scheduler.draft_proposed
+                    if scheduler.draft_proposed else 0.0),
                 "cim_mvm_ops": cim.mvm_ops,
                 "cim_adc_conversions": cim.adc_conversions,
                 "cim_cell_reads": cim.cell_reads,
@@ -553,7 +571,11 @@ class PromptServeEngine:
                                    {}, {}, deadline=deadline)
 
     def run_decode_round(self) -> DecodeRoundReport:
-        """Advance every pending generation by one token in one forward.
+        """Advance every pending generation (one base forward per round).
+
+        Without a speculative decoder each generation gains exactly one
+        token; with one, greedy generations may gain several
+        draft-verified tokens per round.
 
         This is the serving hot loop: all sessions with pending
         generations share a single batched decode step, and generations
@@ -681,8 +703,16 @@ class PromptServeEngine:
         pending._retrieval = (index, tuple(float(s) for s in scores),
                               deployment.engine.n_stored,
                               _deployment_cost(deployment))
+        prompt_ids = None
+        if self.speculative is not None:
+            # The draft model sees the raw query tokens (no soft prompt /
+            # KV prefix — base-model conditioning it cannot consume).
+            # This only steers drafting; answers stay token-identical.
+            prompt_ids = np.asarray(self.tokenizer.encode(text),
+                                    dtype=np.int64)
         pending._sequence = self._scheduler.admit(state, generation,
-                                                 deadline=deadline)
+                                                 deadline=deadline,
+                                                 prompt_ids=prompt_ids)
         session.generations_in_flight += 1
         self.admitted += 1
         self._pending.append(pending)

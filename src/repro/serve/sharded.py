@@ -70,21 +70,28 @@ class ShardedPromptEngine:
                  max_sessions: int = 8,
                  max_pending: int | None = None,
                  session_store: SessionStore | None = None,
-                 snapshot_mode: str = "raw"):
+                 snapshot_mode: str = "raw",
+                 speculative=None):
         """``max_sessions`` and ``max_pending`` are per-worker budgets
-        (each worker models one device's NVM banks and decode slots)."""
+        (each worker models one device's NVM banks and decode slots).
+        ``speculative`` (a :class:`~repro.llm.speculative.
+        SpeculativeDecoder`) is shared by every worker — it is stateless
+        across rounds and its draft model is read-only, so one draft
+        serves the whole fleet."""
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.model = model
         self.tokenizer = tokenizer
         self.config = config if config is not None else FrameworkConfig()
         self.session_store = session_store
+        self.speculative = speculative
         self.workers: tuple[PromptServeEngine, ...] = tuple(
             PromptServeEngine(model, tokenizer, self.config,
                               max_sessions=max_sessions,
                               max_pending=max_pending,
                               session_store=session_store,
-                              snapshot_mode=snapshot_mode)
+                              snapshot_mode=snapshot_mode,
+                              speculative=speculative)
             for _ in range(n_workers))
 
     @property

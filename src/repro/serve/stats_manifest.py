@@ -58,6 +58,15 @@ STATS_MANIFEST = {
     "occupancy_sum": "additive",
     "tokens_per_round": ("ratio", "decode_tokens", "decode_rounds"),
     "batch_occupancy": ("ratio", "occupancy_sum", "decode_rounds"),
+    # -- speculative decoding ----------------------------------------------
+    "decode_forwards": "additive",
+    "spec_rounds": "additive",
+    "draft_forwards": "additive",
+    "draft_proposed_tokens": "additive",
+    "draft_accepted_tokens": "additive",
+    "tokens_per_forward": ("ratio", "decode_tokens", "decode_forwards"),
+    "draft_acceptance_rate": ("ratio", "draft_accepted_tokens",
+                              "draft_proposed_tokens"),
     # -- CiM hardware counters --------------------------------------------
     "cim_mvm_ops": "additive",
     "cim_adc_conversions": "additive",

@@ -1,0 +1,355 @@
+"""Tests for speculative draft-verify decoding.
+
+The contract: a scheduler given a :class:`SpeculativeDecoder` emits, per
+sequence, token-for-token what the plain scheduler (and therefore the
+sequential :func:`decode_from` reference) emits — for every confidence
+policy, draft depth, batch size, conditioning mode, and mid-flight
+admission/retirement pattern.  Speculation may only change how many
+base-model forwards the tokens cost, never one token of any answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    CONFIDENCE_POLICIES,
+    DecodeScheduler,
+    GenerationConfig,
+    KVCache,
+    SpeculativeDecoder,
+    TinyCausalLM,
+    build_draft_model,
+    decode_from,
+    distill_draft,
+    draft_spec,
+    prefill,
+)
+from repro.llm.registry import MODEL_REGISTRY, EdgeModelSpec
+from repro.llm.speculative import (
+    entropy_confidence,
+    max_prob_confidence,
+    temperature_confidence,
+    top_k_confidence,
+)
+from repro.llm.transformer import LMConfig
+
+RNG = np.random.default_rng(33)
+VOCAB = 23
+
+
+def tiny_base(max_seq_len=64, seed=0):
+    return TinyCausalLM(LMConfig(vocab_size=VOCAB, d_model=16, n_heads=2,
+                                 n_layers=2, d_ff=24,
+                                 max_seq_len=max_seq_len), seed=seed)
+
+
+def tiny_draft(max_seq_len=64, seed=1):
+    return TinyCausalLM(LMConfig(vocab_size=VOCAB, d_model=8, n_heads=2,
+                                 n_layers=1, d_ff=12,
+                                 max_seq_len=max_seq_len), seed=seed)
+
+
+def ragged_states(model, lengths):
+    states, prompts = [], []
+    for length in lengths:
+        ids = RNG.integers(1, VOCAB, size=length).astype(np.int64)
+        prompts.append(ids)
+        states.append(prefill(model, ids))
+    return states, prompts
+
+
+def run_speculative(model, states, prompts, configs, spec):
+    scheduler = DecodeScheduler(model, speculative=spec)
+    sequences = [scheduler.admit(state, config, prompt_ids=ids)
+                 for state, config, ids in zip(states, configs, prompts)]
+    scheduler.run()
+    return [seq.token_ids() for seq in sequences], scheduler
+
+
+def assert_matches_sequential(model, states, configs, results):
+    for state, config, result in zip(states, configs, results):
+        np.testing.assert_array_equal(result,
+                                      decode_from(model, state, config))
+
+
+# ----------------------------------------------------------------------
+class TestConfidencePolicies:
+    def test_registry_contents(self):
+        for name in ("max-prob", "entropy", "temperature", "top-k"):
+            assert name in CONFIDENCE_POLICIES
+
+    def test_max_prob_bounds(self):
+        peaked = np.zeros(10, dtype=np.float32)
+        peaked[3] = 20.0
+        assert max_prob_confidence(peaked) > 0.99
+        uniform = np.zeros(10, dtype=np.float32)
+        assert max_prob_confidence(uniform) == pytest.approx(0.1)
+
+    def test_entropy_bounds(self):
+        peaked = np.zeros(10, dtype=np.float32)
+        peaked[3] = 40.0
+        assert entropy_confidence(peaked) > 0.99
+        uniform = np.zeros(10, dtype=np.float32)
+        assert entropy_confidence(uniform) == pytest.approx(0.0, abs=1e-9)
+
+    def test_temperature_flattens(self):
+        logits = np.array([2.0, 1.0, 0.0, -1.0], dtype=np.float32)
+        assert temperature_confidence(logits, temperature=3.0) \
+            < max_prob_confidence(logits)
+        with pytest.raises(ValueError, match="positive"):
+            temperature_confidence(logits, temperature=0.0)
+
+    def test_top_k_reduces_to_max_prob_at_k1(self):
+        logits = RNG.normal(size=17).astype(np.float32)
+        assert top_k_confidence(logits, k=1) \
+            == pytest.approx(max_prob_confidence(logits))
+        with pytest.raises(ValueError, match=">= 1"):
+            top_k_confidence(logits, k=0)
+
+    def test_decoder_rejects_unknown_policy(self):
+        with pytest.raises(KeyError):
+            SpeculativeDecoder(tiny_draft(), policy="oracle")
+
+    def test_decoder_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="max_draft"):
+            SpeculativeDecoder(tiny_draft(), max_draft=0)
+
+
+class TestDraftConstruction:
+    def test_draft_spec_halves_dimensions(self):
+        base = EdgeModelSpec(name="b", paper_model="B", d_model=64,
+                             n_heads=4, n_layers=6, d_ff=128,
+                             quantize_bits=None, base_seed=7)
+        spec = draft_spec(base)
+        assert spec.name == "b-draft"
+        assert spec.d_model == 32 and spec.d_model % spec.n_heads == 0
+        assert spec.n_heads == base.n_heads
+        assert spec.n_layers == 3 and spec.d_ff == 64
+        assert spec.base_seed == base.base_seed + 1
+
+    def test_draft_spec_floors_at_one_layer(self):
+        base = EdgeModelSpec(name="b", paper_model="B", d_model=8,
+                             n_heads=2, n_layers=1, d_ff=8,
+                             quantize_bits=None, base_seed=0)
+        spec = draft_spec(base)
+        assert spec.n_layers == 1
+        assert spec.d_model >= spec.n_heads
+
+    def test_build_draft_model_registers_spec(self):
+        draft = build_draft_model("phi-2-sim", VOCAB, max_seq_len=32)
+        assert "phi-2-sim-draft" in MODEL_REGISTRY
+        assert draft.config.vocab_size == VOCAB
+        assert draft.config.n_layers \
+            == max(1, MODEL_REGISTRY["phi-2-sim"].n_layers // 2)
+
+    def test_distill_returns_loss_curve(self):
+        from repro.llm import PretrainConfig
+        base, draft = tiny_base(seed=4), tiny_draft(seed=5)
+        prompts = [RNG.integers(1, VOCAB, size=5).astype(np.int64)
+                   for _ in range(2)]
+        losses = distill_draft(draft, base, prompts, max_new_tokens=6,
+                               pretrain=PretrainConfig(steps=8, seed=2,
+                                                       seq_len=8))
+        assert len(losses) == 8
+        assert all(np.isfinite(loss) for loss in losses)
+
+
+# ----------------------------------------------------------------------
+class TestTokenIdentity:
+    @pytest.mark.parametrize("policy",
+                             ["max-prob", "entropy", "temperature", "top-k"])
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_matches_sequential_across_policies_and_depths(self, policy,
+                                                           depth):
+        model, draft = tiny_base(seed=2), tiny_draft(seed=3)
+        states, prompts = ragged_states(model, [3, 9, 5, 12, 7])
+        configs = [GenerationConfig(max_new_tokens=10, temperature=0.0)
+                   for _ in states]
+        # threshold 0: always draft to the cap, maximising accept/reject
+        # traffic even though the untrained draft rarely agrees.
+        spec = SpeculativeDecoder(draft, max_draft=depth, policy=policy,
+                                  threshold=0.0)
+        results, _ = run_speculative(model, states, prompts, configs, spec)
+        assert_matches_sequential(model, states, configs, results)
+
+    @pytest.mark.parametrize("batch", [1, 2, 5])
+    def test_matches_sequential_across_batch_sizes(self, batch):
+        model, draft = tiny_base(seed=6), tiny_draft(seed=7)
+        states, prompts = ragged_states(model, [4 + i for i in range(batch)])
+        configs = [GenerationConfig(max_new_tokens=8, temperature=0.0)
+                   for _ in states]
+        spec = SpeculativeDecoder(draft, max_draft=4, threshold=0.0)
+        results, _ = run_speculative(model, states, prompts, configs, spec)
+        assert_matches_sequential(model, states, configs, results)
+
+    def test_distilled_draft_accepts_and_stays_identical(self):
+        from repro.llm import PretrainConfig
+        model, draft = tiny_base(seed=8), tiny_draft(seed=9)
+        states, prompts = ragged_states(model, [4, 6, 9])
+        distill_draft(draft, model, prompts, max_new_tokens=12,
+                      pretrain=PretrainConfig(steps=120, seed=3))
+        configs = [GenerationConfig(max_new_tokens=12, temperature=0.0)
+                   for _ in states]
+        spec = SpeculativeDecoder(draft, max_draft=4, threshold=0.1)
+        results, scheduler = run_speculative(model, states, prompts,
+                                             configs, spec)
+        assert_matches_sequential(model, states, configs, results)
+        assert scheduler.draft_accepted > 0   # distillation pays off
+
+    def test_mixed_eligibility_batch(self):
+        """Greedy+prompt sequences speculate; sampled sequences and those
+        admitted without prompt_ids share the round untouched."""
+        model, draft = tiny_base(seed=10), tiny_draft(seed=11)
+        states, prompts = ragged_states(model, [5, 7, 6])
+        configs = [GenerationConfig(max_new_tokens=9, temperature=0.0),
+                   GenerationConfig(max_new_tokens=9, temperature=0.8,
+                                    seed=5),
+                   GenerationConfig(max_new_tokens=9, temperature=0.0)]
+        scheduler = DecodeScheduler(
+            model, speculative=SpeculativeDecoder(draft, max_draft=3,
+                                                  threshold=0.0))
+        sequences = [
+            scheduler.admit(states[0], configs[0], prompt_ids=prompts[0]),
+            scheduler.admit(states[1], configs[1], prompt_ids=prompts[1]),
+            scheduler.admit(states[2], configs[2]),   # no prompt_ids
+        ]
+        scheduler.run()
+        assert_matches_sequential(model, states, configs,
+                                  [seq.token_ids() for seq in sequences])
+
+    def test_eos_mid_draft_retires_exactly(self):
+        model, draft = tiny_base(seed=12), tiny_draft(seed=13)
+        states, prompts = ragged_states(model, [5, 8])
+        free = GenerationConfig(max_new_tokens=8, temperature=0.0)
+        reference = decode_from(model, states[0], free)
+        eos_id = int(reference[3])
+        configs = [GenerationConfig(max_new_tokens=8, temperature=0.0,
+                                    eos_id=eos_id), free]
+        spec = SpeculativeDecoder(draft, max_draft=6, threshold=0.0)
+        scheduler = DecodeScheduler(model, speculative=spec)
+        sequences = [scheduler.admit(state, config, prompt_ids=ids)
+                     for state, config, ids in zip(states, configs, prompts)]
+        scheduler.run()
+        assert sequences[0].finish_reason == "eos"
+        assert_matches_sequential(model, states, configs,
+                                  [seq.token_ids() for seq in sequences])
+
+    def test_context_budget_respected(self):
+        """Drafting never feeds the base model past its context window."""
+        model, draft = tiny_base(max_seq_len=16, seed=14), \
+            tiny_draft(max_seq_len=16, seed=15)
+        states, prompts = ragged_states(model, [12, 3])
+        configs = [GenerationConfig(max_new_tokens=50, temperature=0.0),
+                   GenerationConfig(max_new_tokens=9, temperature=0.0)]
+        spec = SpeculativeDecoder(draft, max_draft=6, threshold=0.0)
+        results, _ = run_speculative(model, states, prompts, configs, spec)
+        assert_matches_sequential(model, states, configs, results)
+
+    def test_mid_flight_admission(self):
+        model, draft = tiny_base(seed=16), tiny_draft(seed=17)
+        states, prompts = ragged_states(model, [4, 9, 6])
+        configs = [GenerationConfig(max_new_tokens=7, temperature=0.0)
+                   for _ in states]
+        spec = SpeculativeDecoder(draft, max_draft=3, threshold=0.0)
+        scheduler = DecodeScheduler(model, speculative=spec)
+        sequences = [scheduler.admit(states[i], configs[i],
+                                     prompt_ids=prompts[i]) for i in (0, 1)]
+        scheduler.decode_round()
+        scheduler.decode_round()
+        sequences.append(scheduler.admit(states[2], configs[2],
+                                         prompt_ids=prompts[2]))
+        scheduler.run()
+        assert_matches_sequential(model, states, configs,
+                                  [seq.token_ids() for seq in sequences])
+
+    def test_impossible_threshold_degenerates_to_plain(self):
+        model, draft = tiny_base(seed=18), tiny_draft(seed=19)
+        states, prompts = ragged_states(model, [5, 7])
+        configs = [GenerationConfig(max_new_tokens=6, temperature=0.0)
+                   for _ in states]
+        spec = SpeculativeDecoder(draft, max_draft=4, threshold=2.0)
+        results, scheduler = run_speculative(model, states, prompts,
+                                             configs, spec)
+        assert_matches_sequential(model, states, configs, results)
+        assert scheduler.draft_proposed == 0
+        assert scheduler.spec_rounds == 0
+        assert scheduler.forwards == scheduler.rounds
+
+
+class TestCounters:
+    def test_counter_invariants(self):
+        model, draft = tiny_base(seed=20), tiny_draft(seed=21)
+        states, prompts = ragged_states(model, [4, 6, 8])
+        configs = [GenerationConfig(max_new_tokens=8, temperature=0.0)
+                   for _ in states]
+        spec = SpeculativeDecoder(draft, max_draft=4, threshold=0.0)
+        _, scheduler = run_speculative(model, states, prompts, configs,
+                                       spec)
+        assert scheduler.draft_proposed > 0
+        assert 0 <= scheduler.draft_accepted <= scheduler.draft_proposed
+        assert 0 < scheduler.spec_rounds <= scheduler.rounds
+        assert scheduler.forwards == scheduler.rounds
+        assert scheduler.draft_forwards > 0
+        # One token absorbed at admission per sequence; the rest in rounds.
+        assert scheduler.tokens_emitted == (8 * 3) - 3
+
+    def test_draft_model_pinned_to_eval(self):
+        draft = tiny_draft()
+        draft.train()
+        SpeculativeDecoder(draft)
+        assert not draft.training
+
+    def test_base_model_mode_restored(self):
+        model, draft = tiny_base(seed=22), tiny_draft(seed=23)
+        model.train()
+        states, prompts = ragged_states(model, [4])
+        configs = [GenerationConfig(max_new_tokens=5, temperature=0.0)]
+        spec = SpeculativeDecoder(draft, max_draft=3, threshold=0.0)
+        run_speculative(model, states, prompts, configs, spec)
+        assert model.training
+
+
+class TestTruncate:
+    def make_cache(self, model, length=7):
+        ids = RNG.integers(1, VOCAB, size=length).astype(np.int64)
+        _, cache = model(ids[None], use_cache=True)
+        return cache
+
+    def test_truncate_copies_by_default(self):
+        cache = self.make_cache(tiny_base())
+        short = cache.truncate(4)
+        assert short.seq_len == 4
+        assert cache.seq_len == 7                       # source untouched
+        for index in range(cache.n_layers):
+            kept_k, _ = short.layer(index)
+            src_k, _ = cache.layer(index)
+            np.testing.assert_array_equal(kept_k.data,
+                                          src_k.data[:, :, :4, :])
+            assert not np.shares_memory(kept_k.data, src_k.data)
+
+    def test_truncate_views_on_request(self):
+        cache = self.make_cache(tiny_base())
+        short = cache.truncate(4, copy=False)
+        assert short.seq_len == 4
+        for index in range(cache.n_layers):
+            kept_k, kept_v = short.layer(index)
+            src_k, src_v = cache.layer(index)
+            assert np.shares_memory(kept_k.data, src_k.data)
+            assert np.shares_memory(kept_v.data, src_v.data)
+
+    def test_truncate_full_length_returns_self(self):
+        cache = self.make_cache(tiny_base())
+        assert cache.truncate(cache.seq_len) is cache
+
+    @pytest.mark.parametrize("length", [0, 8, -1])
+    def test_truncate_rejects_bad_lengths(self, length):
+        cache = self.make_cache(tiny_base())
+        with pytest.raises(ValueError, match="truncate"):
+            cache.truncate(length)
+
+    def test_layers_stay_consistent(self):
+        cache = self.make_cache(tiny_base())
+        short = cache.truncate(3)
+        assert isinstance(short, KVCache)
+        assert short.n_layers == cache.n_layers
+        assert short.batch_size == 1
