@@ -8,7 +8,7 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "iter_modules"]
 
 
 class Parameter(Tensor):
@@ -67,14 +67,8 @@ class Module:
         return self
 
     def _set_training(self, mode: bool) -> None:
-        self.training = mode
-        for value in vars(self).values():
-            if isinstance(value, Module):
-                value._set_training(mode)
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Module):
-                        item._set_training(mode)
+        for module in iter_modules(self):
+            module.training = mode
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -103,3 +97,32 @@ class Module:
 
     def forward(self, *args, **kwargs):  # pragma: no cover - interface
         raise NotImplementedError
+
+
+def iter_modules(module: Module) -> Iterator[Module]:
+    """Every :class:`Module` reachable from ``module``, each exactly once.
+
+    Walks attribute values the way parameter discovery does, but also
+    descends into ``dict`` values (a registry of heads, for example) and
+    deduplicates by object identity, so a submodule shared between two
+    attributes — tied weights — is yielded a single time.  Containers are
+    walked recursively, so nested lists/dicts of modules are found too.
+    """
+    seen: set[int] = set()
+
+    def walk(value) -> Iterator[Module]:
+        if isinstance(value, Module):
+            if id(value) in seen:
+                return
+            seen.add(id(value))
+            yield value
+            for child in vars(value).values():
+                yield from walk(child)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                yield from walk(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                yield from walk(item)
+
+    yield from walk(module)

@@ -14,6 +14,7 @@ handful and expose the count).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -167,7 +168,13 @@ def evaluate_method(
     served as one batch (so per-user crossbar programming is amortised).
     """
     base = method.apply(config)
-    engine = PromptServeEngine(context.model(model_name), context.tokenizer,
+    model = context.model(model_name)
+    if base.base_quantization is not None:
+        # The engine quantizes its model in place; serve a copy so the
+        # context's memoised float model (and every library trained
+        # against it) stays untouched for other arms.
+        model = copy.deepcopy(model)
+    engine = PromptServeEngine(model, context.tokenizer,
                                base, max_sessions=max(len(user_ids), 1))
     generation = context.generation_config()
     requests: list[QueryRequest] = []

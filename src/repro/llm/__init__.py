@@ -14,7 +14,14 @@ from .generation import (
 )
 from .kv_cache import BatchedKVCache, KVCache
 from .pretrain import PretrainConfig, pretrain_lm
-from .quantization import quantization_error, quantize_array, quantize_model_weights
+from .quantization import (
+    QUANTIZATION_BITS,
+    quantization_error,
+    quantization_stats,
+    quantize_array,
+    quantize_model,
+    quantize_model_weights,
+)
 from .registry import (
     MODEL_REGISTRY,
     EdgeModelSpec,
@@ -42,6 +49,7 @@ __all__ = [
     "DecodeSequence", "DecodeScheduler", "DecodeRoundReport", "decode_batch",
     "PretrainConfig", "pretrain_lm",
     "quantize_array", "quantize_model_weights", "quantization_error",
+    "QUANTIZATION_BITS", "quantize_model", "quantization_stats",
     "EdgeModelSpec", "MODEL_REGISTRY", "available_models",
     "build_model", "load_pretrained_model", "clear_model_cache",
     "register_model",

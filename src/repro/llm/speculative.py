@@ -61,7 +61,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..ag import Tensor, no_grad
+from ..ag import QuantizedLinear, Tensor, no_grad
 from ..utils import Registry
 from .generation import (DecodeRoundReport, DecodeScheduler, DecodeSequence,
                          GenerationConfig, generate)
@@ -228,6 +228,22 @@ def _layer_norm(x: np.ndarray, layer) -> np.ndarray:
     return normed * layer.weight.data + layer.bias.data
 
 
+def _affine(layer, x: np.ndarray) -> np.ndarray:
+    """``x @ W + b`` on raw arrays for a dense or weight-quantized Linear.
+
+    The draft model may have been converted to :class:`ag.QuantizedLinear`
+    by the engine (quantizing the draft too is safe: proposals only steer,
+    the base verify decides every emitted token); the fused kernel is the
+    layer's own ``affine_numpy``.  ``bias`` may be None (the lm_head).
+    """
+    if isinstance(layer, QuantizedLinear):
+        return layer.affine_numpy(x)
+    out = x @ layer.weight.data
+    if layer.bias is not None:
+        out = out + layer.bias.data
+    return out
+
+
 def _softmax_inplace(scores: np.ndarray) -> np.ndarray:
     scores -= scores.max(axis=-1, keepdims=True)
     np.exp(scores, out=scores)
@@ -274,9 +290,9 @@ class _FastDraft:
             attn = block.attn
             n_heads, d_head = attn.n_heads, attn.d_head
             h = _layer_norm(x, block.ln1)
-            q = (h @ attn.q_proj.weight.data + attn.q_proj.bias.data)
-            k = (h @ attn.k_proj.weight.data + attn.k_proj.bias.data)
-            v = (h @ attn.v_proj.weight.data + attn.v_proj.bias.data)
+            q = _affine(attn.q_proj, h)
+            k = _affine(attn.k_proj, h)
+            v = _affine(attn.v_proj, h)
             q = q.reshape(length, n_heads, d_head).transpose(1, 0, 2)
             k = k.reshape(length, n_heads, d_head).transpose(1, 0, 2)
             v = v.reshape(length, n_heads, d_head).transpose(1, 0, 2)
@@ -295,13 +311,11 @@ class _FastDraft:
             context = np.matmul(_softmax_inplace(scores), v)
             merged = context.transpose(1, 0, 2).reshape(length,
                                                         n_heads * d_head)
-            x = x + (merged @ attn.out_proj.weight.data
-                     + attn.out_proj.bias.data)
+            x = x + _affine(attn.out_proj, merged)
             h = _layer_norm(x, block.ln2)
-            x = x + _gelu(h @ block.ff1.weight.data + block.ff1.bias.data) \
-                @ block.ff2.weight.data + block.ff2.bias.data
+            x = x + _affine(block.ff2, _gelu(_affine(block.ff1, h)))
         final = _layer_norm(x[-1:], model.ln_final)
-        logits = (final @ model.lm_head.weight.data)[0]
+        logits = _affine(model.lm_head, final)[0]
         return logits, KVCache(layers)
 
     # -- whole batch: the proposal loop --------------------------------
@@ -371,9 +385,9 @@ class _DraftRound:
             attn = block.attn
             n_heads, d_head = attn.n_heads, attn.d_head
             h = _layer_norm(x, block.ln1)
-            q = (h @ attn.q_proj.weight.data + attn.q_proj.bias.data)
-            k = (h @ attn.k_proj.weight.data + attn.k_proj.bias.data)
-            v = (h @ attn.v_proj.weight.data + attn.v_proj.bias.data)
+            q = _affine(attn.q_proj, h)
+            k = _affine(attn.k_proj, h)
+            v = _affine(attn.v_proj, h)
             q = q.reshape(rows_arr.size, n_heads, 1, d_head)
             k = k.reshape(rows_arr.size, n_heads, d_head)
             v = v.reshape(rows_arr.size, n_heads, d_head)
@@ -391,13 +405,11 @@ class _DraftRound:
             scores = np.where(blocked[:, None, None, :], _NEG_INF, scores)
             context = np.matmul(_softmax_inplace(scores), values)
             merged = context.reshape(rows_arr.size, n_heads * d_head)
-            x = x + (merged @ attn.out_proj.weight.data
-                     + attn.out_proj.bias.data)
+            x = x + _affine(attn.out_proj, merged)
             h = _layer_norm(x, block.ln2)
-            x = x + _gelu(h @ block.ff1.weight.data + block.ff1.bias.data) \
-                @ block.ff2.weight.data + block.ff2.bias.data
+            x = x + _affine(block.ff2, _gelu(_affine(block.ff1, h)))
         final = _layer_norm(x, model.ln_final)
-        return final @ model.lm_head.weight.data
+        return _affine(model.lm_head, final)
 
     def cache_of(self, row: int, length: int) -> KVCache:
         """Sequence ``row``'s first ``length`` positions as a compact cache."""

@@ -63,6 +63,7 @@ from ..llm.generation import (
     GenerationConfig,
     decode_from,
 )
+from ..llm.quantization import quantization_stats, quantize_model
 from ..llm.tokenizer import Tokenizer
 from ..llm.transformer import TinyCausalLM
 from .api import (
@@ -135,12 +136,26 @@ class PromptServeEngine:
             raise ValueError(
                 f"snapshot_mode must be 'raw' or 'recipe', "
                 f"got {snapshot_mode!r}")
+        self.config = config if config is not None else FrameworkConfig()
+        # Optional weight quantization: convert the frozen base model's
+        # dense Linears to the packed int8/int4 execution path once, before
+        # any forward.  Idempotent, so a model shared across engines (the
+        # sharded deployment) converts exactly once; the draft model rides
+        # along — its proposals only steer, the base verify still decides
+        # every token.  The resident-weight accounting feeds stats().
+        if self.config.base_quantization is not None:
+            quantize_model(model, self.config.base_quantization,
+                           self.config.quantization_group_size)
+            if speculative is not None:
+                quantize_model(speculative.draft_model,
+                               self.config.base_quantization,
+                               self.config.quantization_group_size)
+        self._quantization = quantization_stats(model)
         # The base model is frozen shared state: pin it to eval mode once so
         # decoding never has to flip module flags other threads could see.
         model.eval()
         self.model = model
         self.tokenizer = tokenizer
-        self.config = config if config is not None else FrameworkConfig()
         self.max_sessions = max_sessions
         # Bounded admission for begin_query: None serves every caller (the
         # in-process default), an integer is the backpressure point the
@@ -413,6 +428,10 @@ class PromptServeEngine:
                 "cim_adc_conversions": cim.adc_conversions,
                 "cim_cell_reads": cim.cell_reads,
                 "cim_write_pulses": cim.write_pulses,
+                "quantized_layers": self._quantization["quantized_layers"],
+                "weight_bytes": self._quantization["weight_bytes"],
+                "weight_bytes_saved":
+                    self._quantization["weight_bytes_saved"],
             }
 
     # ------------------------------------------------------------------

@@ -270,5 +270,10 @@ class ShardedPromptEngine:
                                       if self.session_store is not None
                                       else None)
         aggregate["n_workers"] = len(self.workers)
+        # Model-resident accounting is structural, not additive: every
+        # worker shares the one base model, so summing would multiply the
+        # real footprint by the fleet size.  Worker 0 speaks for all.
+        for key in ("quantized_layers", "weight_bytes", "weight_bytes_saved"):
+            aggregate[key] = per_worker[0][key]
         aggregate["workers"] = per_worker
         return aggregate

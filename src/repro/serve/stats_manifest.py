@@ -67,6 +67,13 @@ STATS_MANIFEST = {
     "tokens_per_forward": ("ratio", "decode_tokens", "decode_forwards"),
     "draft_acceptance_rate": ("ratio", "draft_accepted_tokens",
                               "draft_proposed_tokens"),
+    # -- weight quantization ----------------------------------------------
+    # Resident-model accounting: the base model is shared by every worker,
+    # so these are structural (worker 0 speaks for the fleet) — summing
+    # would multiply the one model's footprint by n_workers.
+    "quantized_layers": "structural",
+    "weight_bytes": "structural",
+    "weight_bytes_saved": "structural",
     # -- CiM hardware counters --------------------------------------------
     "cim_mvm_ops": "additive",
     "cim_adc_conversions": "additive",

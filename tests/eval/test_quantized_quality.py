@@ -1,0 +1,62 @@
+"""The quantization quality harness: perplexity and frontier records."""
+
+import numpy as np
+import pytest
+
+from repro.eval.quantized import perplexity, quantization_quality
+from repro.eval.runner import ExperimentContext
+from repro.llm import quantization_stats
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=0, corpus_sentences=600, n_queries=3)
+
+
+class TestPerplexity:
+    def test_deterministic(self, ctx):
+        model = ctx.model("phi-2-sim")
+        first = perplexity(model, ctx.corpus, window=32, max_windows=4)
+        second = perplexity(model, ctx.corpus, window=32, max_windows=4)
+        assert first == second
+        assert first > 1.0
+
+    def test_pretrained_beats_random(self, ctx):
+        from repro.llm import build_model
+        random_model = build_model("phi-2-sim", ctx.tokenizer.vocab_size)
+        trained = perplexity(ctx.model("phi-2-sim"), ctx.corpus,
+                             window=32, max_windows=4)
+        untrained = perplexity(random_model, ctx.corpus,
+                               window=32, max_windows=4)
+        assert trained < untrained
+
+    def test_short_stream_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            perplexity(ctx.model("phi-2-sim"), np.arange(10), window=64)
+
+
+class TestQuantizationQuality:
+    def test_frontier_records_and_float_model_untouched(self, ctx):
+        model = ctx.model("phi-2-sim")
+        before = {name: p.data.copy()
+                  for name, p in model.named_parameters()}
+        report = quantization_quality(
+            ctx, "phi-2-sim", "LaMP-1",
+            points=(("int8", 32), ("int4", 32)),
+            user_ids=(0,), ppl_windows=4)
+        # the context's memoised float model must not have been converted
+        assert quantization_stats(model)["quantized_layers"] == 0
+        after = dict(model.named_parameters())
+        assert all((before[name] == after[name].data).all()
+                   for name in before)
+        assert set(report) == {"float32", "points"}
+        assert len(report["points"]) == 2
+        int8, int4 = report["points"]
+        # On a small window sample the ratio is noisy in either direction;
+        # what must hold is that quantization barely moves perplexity
+        # while int4 shrinks the resident model well below int8.
+        assert int8["perplexity_ratio"] == pytest.approx(1.0, abs=0.1)
+        assert int4["perplexity_ratio"] == pytest.approx(1.0, abs=0.2)
+        assert 0 < int4["weight_bytes"] < int8["weight_bytes"]
+        assert int8["quantized_layers"] == int4["quantized_layers"] > 0
+        assert report["float32"]["weight_bytes"] > int8["weight_bytes"]
